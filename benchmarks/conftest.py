@@ -1,0 +1,24 @@
+"""Benchmark fixtures.
+
+Every bench regenerates one of the paper's artefacts through the same
+registry the tests use, asserts its headline shape, and times the
+regeneration.  Heavy harnesses run ``pedantic`` with a single round —
+the point is the artefact, not micro-timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    return SystemConfig()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavy experiment with one round, returning its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

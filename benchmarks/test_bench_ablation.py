@@ -1,0 +1,106 @@
+"""Ablation benches for the design choices DESIGN.md §4 calls out."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AmppmDesigner,
+    SlotErrorModel,
+    SymbolPattern,
+    SystemConfig,
+    encode_symbol,
+    slope_walk_envelope,
+    upper_concave_envelope,
+)
+from repro.core.combinatorics import iter_weighted_codewords
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    config = SystemConfig()
+    return AmppmDesigner(config).candidates
+
+
+class TestEnvelopeConstruction:
+    """Slope walk vs exhaustive hull: same result, comparable cost."""
+
+    def test_bench_slope_walk(self, benchmark, candidates):
+        errors = SlotErrorModel(9e-5, 8e-5)
+        env = benchmark(slope_walk_envelope, candidates, errors)
+        reference = upper_concave_envelope(candidates, errors)
+        lo, hi = env.dimming_range
+        for i in range(51):
+            x = lo + (hi - lo) * i / 50
+            assert env.rate_at(x) == pytest.approx(reference.rate_at(x),
+                                                   abs=1e-9)
+
+    def test_bench_reference_hull(self, benchmark, candidates):
+        errors = SlotErrorModel(9e-5, 8e-5)
+        benchmark(upper_concave_envelope, candidates, errors)
+
+
+class TestTwoPatternSufficiency:
+    """Super-symbols of two patterns suffice: mixing three or more
+    cannot beat the envelope chord (hull segments are straight)."""
+
+    def test_bench_two_pattern_rate_is_optimal(self, benchmark, config):
+        designer = AmppmDesigner(config)
+
+        def best_designs():
+            return [designer.design(l) for l in (0.15, 0.3, 0.45, 0.6, 0.75)]
+
+        designs = benchmark.pedantic(best_designs, rounds=1, iterations=1)
+        for level, design in zip((0.15, 0.3, 0.45, 0.6, 0.75), designs):
+            # Any convex combination of >= 3 candidate points is also a
+            # convex combination of hull points, so the chord (evaluated
+            # at the dimming level actually achieved) bounds it.
+            rate = design.normalized_rate(designer.errors)
+            ceiling = designer.envelope.rate_at(design.achieved_dimming)
+            assert rate <= ceiling + 1e-9
+            assert rate >= 0.93 * designer.envelope.rate_at(level)
+
+
+class TestCodingVsTabulation:
+    """Combinatorial dichotomy vs lookup tabulation (Section 4.4)."""
+
+    N, K = 24, 12
+
+    def test_bench_arithmetic_encoder(self, benchmark):
+        # O(N) big-integer arithmetic, no table.
+        values = list(range(0, 2**20, 4099))
+        benchmark(lambda: [encode_symbol(v, self.N, self.K) for v in values])
+
+    def test_bench_tabulation_encoder(self, benchmark):
+        # The classical approach must materialise C(N, K) codewords
+        # first; even at N=24 that is 2.7M entries (at N=50 it would be
+        # the paper's 126 TB).
+        def tabulate_and_encode():
+            table = list(iter_weighted_codewords(16, 8))  # C(16,8)=12870
+            return [table[v % len(table)] for v in range(0, 2**20, 4099)]
+
+        benchmark.pedantic(tabulate_and_encode, rounds=1, iterations=2)
+
+    def test_table_size_explodes(self):
+        # The memory argument: the tabulation footprint is super-
+        # exponential in N while the arithmetic codec stays O(N).
+        assert math.comb(50, 25) * 4 > 500e12  # the paper's 126 TB * 4B
+
+
+class TestDesignerCost:
+    """Building the whole designer (Steps 1-3) stays sub-second."""
+
+    def test_bench_designer_construction(self, benchmark, config):
+        designer = benchmark.pedantic(AmppmDesigner, args=(config,),
+                                      rounds=2, iterations=1)
+        assert len(designer.candidates) > 1000
+
+    def test_bench_design_lookup(self, benchmark, config):
+        designer = AmppmDesigner(config)
+        designer.design(0.37)  # warm the cache
+
+        def lookup():
+            return designer.design(0.37)
+
+        result = benchmark(lookup)
+        assert result.dimming_error <= config.tau_perceived

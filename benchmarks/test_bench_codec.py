@@ -1,0 +1,59 @@
+"""Performance benches for the hot paths: codec, framing, waveform."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig, decode_symbol, encode_symbol
+from repro.link import Receiver, Transmitter
+from repro.phy import LinkGeometry
+from repro.schemes import AmppmScheme
+from repro.sim import EndToEndLink
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SystemConfig()
+
+
+@pytest.fixture(scope="module")
+def design(config):
+    return AmppmScheme(config).design(0.5)
+
+
+class TestSymbolCodec:
+    def test_bench_encode_large_symbol(self, benchmark):
+        benchmark(encode_symbol, 2**40 + 12345, 50, 25)
+
+    def test_bench_decode_large_symbol(self, benchmark):
+        codeword = encode_symbol(2**40 + 12345, 50, 25)
+        value = benchmark(decode_symbol, codeword, 25)
+        assert value == 2**40 + 12345
+
+
+class TestFramePath:
+    def test_bench_frame_encode(self, benchmark, config, design):
+        tx = Transmitter(config)
+        payload = bytes(range(128)) * 1
+        slots = benchmark(tx.encode_frame, payload, design)
+        assert len(slots) > 1000
+
+    def test_bench_frame_decode(self, benchmark, config, design):
+        tx = Transmitter(config)
+        rx = Receiver(config)
+        payload = bytes(range(128))
+        slots = tx.encode_frame(payload, design)
+        frame = benchmark(rx.decode_frame, slots)
+        assert frame.payload == payload
+
+
+class TestWaveformPath:
+    def test_bench_end_to_end_frame(self, benchmark, config, design):
+        link = EndToEndLink(config=config,
+                            geometry=LinkGeometry.on_axis(3.0))
+
+        def one_frame():
+            return link.send_frame(bytes(64), design,
+                                   np.random.default_rng(7))
+
+        report = benchmark.pedantic(one_frame, rounds=3, iterations=1)
+        assert report.delivered

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 4 (SER vs dimming level in MPPM)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig04(benchmark, config):
+    fig = benchmark(run_experiment, "fig04", config=config)
+    print("\n" + fig.render(width=64, height=12))
+    # Shape: SER rises with N at every dimming level.
+    n10 = fig.get("N=10")
+    n120 = fig.get("N=120")
+    assert max(n10.y) < min(n120.y)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 6 (dimming levels before/after multiplexing)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig06(benchmark, config):
+    fig = benchmark(run_experiment, "fig06", config=config)
+    print("\n" + fig.render(width=64, height=12))
+    assert len(fig.get("before").x) == 9
+    assert len(fig.get("after").x) > 50

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 8 (candidate patterns under the SER bound)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig08(benchmark, config):
+    fig = benchmark(run_experiment, "fig08", config=config)
+    print("\n" + fig.render(width=64, height=12))
+    bound = fig.get("upper bound").y[0]
+    assert max(fig.get("N=10").y) < bound
+    assert max(fig.get("N=63").y) > bound

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 9 (slope-based envelope over [0.5, 0.7])."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig09(benchmark, config):
+    fig = benchmark(run_experiment, "fig09", config=config)
+    print("\n" + fig.render(width=64, height=12))
+    env = fig.get("AMPPM (envelope)")
+    stairs = fig.get("without multiplexing")
+    assert all(e >= s - 0.02 for e, s in zip(env.y, stairs.y))

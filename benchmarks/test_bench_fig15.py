@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 15 — the headline AMPPM/OOK-CT/MPPM comparison."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig15(benchmark, config):
+    fig = run_once(benchmark, run_experiment, "fig15", config=config)
+    print("\n" + fig.render(width=64, height=14))
+    ampem = fig.get("AMPPM")
+    ookct = fig.get("OOK-CT")
+    mppm = fig.get("MPPM")
+    # AMPPM never loses to MPPM, and loses to OOK-CT only around 0.5.
+    assert all(a >= m - 1e-9 for a, m in zip(ampem.y, mppm.y))
+    losing = [x for x, a, o in zip(ampem.x, ampem.y, ookct.y) if o > a]
+    assert all(0.45 <= x <= 0.55 for x in losing)

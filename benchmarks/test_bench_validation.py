@@ -1,0 +1,46 @@
+"""Bench: Monte-Carlo validation of the analytic error models.
+
+Not a paper artefact; this bench continuously proves that the closed
+forms the figure harnesses use (Eq. (3), frame-success product) agree
+with the executable codec/receiver path.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core import SlotErrorModel, SymbolPattern
+from repro.schemes import AmppmScheme
+from repro.sim import MonteCarloValidator
+
+
+def test_bench_eq3_validation(benchmark, config):
+    validator = MonteCarloValidator(config)
+    errors = SlotErrorModel(2e-3, 2e-3)
+
+    def run():
+        return validator.symbol_error_rate(
+            SymbolPattern(30, 15), errors,
+            np.random.default_rng(11), n_symbols=3000)
+
+    estimate = run_once(benchmark, run)
+    print(f"\nEq.(3) analytic {estimate.analytic_ser:.3e} vs measured "
+          f"{estimate.measured_ser:.3e} over {estimate.n_symbols} symbols "
+          f"({estimate.n_undetected} undetected aliases)")
+    assert estimate.consistent_with_analytic()
+
+
+def test_bench_frame_loss_validation(benchmark, config):
+    validator = MonteCarloValidator(config)
+    design = AmppmScheme(config).design(0.5)
+    errors = SlotErrorModel(3e-4, 3e-4)
+
+    def run():
+        return validator.frame_loss_rate(design, errors,
+                                         np.random.default_rng(12),
+                                         n_frames=150)
+
+    measured, analytic = run_once(benchmark, run)
+    print(f"\nframe loss analytic {analytic:.3f} vs measured {measured:.3f}")
+    std = (analytic * (1 - analytic) / 150) ** 0.5
+    assert abs(measured - analytic) <= 4 * std + 0.03

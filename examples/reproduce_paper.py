@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper's evaluation.
+
+Iterates the experiment registry (DESIGN.md §3 maps ids to paper
+artefacts) and renders each result as text.  This is the one-command
+answer to "show me the whole evaluation".
+
+Run:  python examples/reproduce_paper.py [experiment-id ...]
+"""
+
+import sys
+
+from repro.experiments import experiment_ids, run_experiment
+
+requested = sys.argv[1:] or experiment_ids()
+unknown = set(requested) - set(experiment_ids())
+if unknown:
+    sys.exit(f"unknown experiment ids: {sorted(unknown)}; "
+             f"known: {experiment_ids()}")
+
+for experiment_id in requested:
+    print("=" * 78)
+    result = run_experiment(experiment_id)
+    print(result.render())
+    print()

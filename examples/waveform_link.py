@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Sample-level link demo: the whole prototype chain, one frame at a time.
+
+Pushes frames through the full physical pipeline — LED edge filtering,
+Lambertian propagation, photodiode noise, ADC quantisation, preamble
+correlation, slot thresholding, frame decoding — at increasing
+distances, reproducing the Fig. 16 cliff at the waveform level.
+
+Run:  python examples/waveform_link.py
+"""
+
+import numpy as np
+
+from repro import AmppmScheme, SystemConfig
+from repro.phy import LinkGeometry
+from repro.sim import EndToEndLink
+
+config = SystemConfig()
+scheme = AmppmScheme(config)
+design = scheme.design(0.5)
+payload = bytes(range(64))
+rng = np.random.default_rng(2017)
+
+print(f"super-symbol {design.super_symbol}, "
+      f"{design.data_rate(config) / 1e3:.1f} kbps PHY rate")
+print(f"payload: {len(payload)} bytes per frame, 5 frames per distance\n")
+print(f"{'distance':>9}  {'delivered':>9}  {'slot errors':>11}  {'SER':>9}")
+
+for distance in (1.0, 2.0, 3.0, 3.6, 4.2, 5.0, 6.0):
+    link = EndToEndLink(config=config,
+                        geometry=LinkGeometry.on_axis(distance))
+    delivered = 0
+    errors = 0
+    slots = 0
+    for _ in range(5):
+        report = link.send_frame(payload, design, rng)
+        delivered += int(report.delivered)
+        errors += report.slot_errors
+        slots += report.n_slots
+    print(f"{distance:8.1f}m  {delivered:6d}/5  {errors:8d}/{slots}"
+          f"  {errors / slots:9.2e}")
+
+print("\nThe link is clean to ~3.6 m and collapses beyond it — the")
+print("Fig. 16 behaviour, here emerging from the waveform itself rather")
+print("than the analytic error model.")

@@ -1,0 +1,53 @@
+"""SmartVLC (CoNEXT 2017) reproduction.
+
+A from-scratch Python implementation of AMPPM — adaptive multiple pulse
+position modulation for joint smart lighting and visible light
+communication — together with the baselines, PHY substrate, link layer,
+smart-lighting controller and every experiment of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import AmppmScheme, SystemConfig
+
+    scheme = AmppmScheme(SystemConfig())
+    design = scheme.design(0.35)
+    slots = design.encode_payload([1, 0, 1, 1, 0, 0, 1, 0])
+"""
+
+from .core import (
+    DEFAULT_CONFIG,
+    AmppmDesign,
+    AmppmDesigner,
+    SlotErrorModel,
+    SuperSymbol,
+    SymbolPattern,
+    SystemConfig,
+)
+from .schemes import (
+    AmppmScheme,
+    Mppm,
+    OokCt,
+    Oppm,
+    Vppm,
+    standard_schemes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmppmDesign",
+    "AmppmDesigner",
+    "AmppmScheme",
+    "DEFAULT_CONFIG",
+    "Mppm",
+    "OokCt",
+    "Oppm",
+    "SlotErrorModel",
+    "SuperSymbol",
+    "SymbolPattern",
+    "SystemConfig",
+    "Vppm",
+    "standard_schemes",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""State-of-the-art dimmable modulation schemes SmartVLC compares against."""
+
+from .base import ModulationScheme, SchemeDesign
+from .darklight import DarkLight, DarkLightDesign
+from .mppm import Mppm, MppmDesign
+from .ookct import OokCt, OokCtDesign
+from .oppm import Oppm, OppmDesign
+from .vppm import Vppm, VppmDesign
+
+__all__ = [
+    "DarkLight",
+    "DarkLightDesign",
+    "ModulationScheme",
+    "Mppm",
+    "MppmDesign",
+    "OokCt",
+    "OokCtDesign",
+    "Oppm",
+    "OppmDesign",
+    "SchemeDesign",
+    "Vppm",
+    "VppmDesign",
+]

@@ -1,0 +1,98 @@
+"""Common interface for dimmable VLC modulation schemes.
+
+AMPPM and the state-of-the-art schemes it is compared against (OOK-CT,
+MPPM, and the related-work VPPM/OPPM) all answer the same two
+questions, so they share one interface:
+
+* given a required dimming level, how are payload bits turned into
+  ON/OFF slots (and back)?
+* what throughput does that mapping achieve under a slot error model?
+
+A :class:`ModulationScheme` is the per-scheme factory; calling
+:meth:`ModulationScheme.design` binds it to a dimming level and returns
+a :class:`SchemeDesign` that the frame codec and the analytic link
+model both consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..core.errormodel import SlotErrorModel
+from ..core.params import SystemConfig
+
+
+class SchemeDesign(ABC):
+    """A modulation scheme bound to one dimming level."""
+
+    #: dimming level the caller asked for
+    target_dimming: float
+
+    @property
+    @abstractmethod
+    def achieved_dimming(self) -> float:
+        """Dimming level the slot stream actually averages to."""
+
+    @abstractmethod
+    def normalized_rate(self, errors: SlotErrorModel | None = None) -> float:
+        """Asymptotic expected data bits per slot (goodput factor)."""
+
+    @abstractmethod
+    def payload_slots(self, n_bits: int) -> int:
+        """Slots needed to carry ``n_bits`` payload bits."""
+
+    @abstractmethod
+    def success_probability(self, n_bits: int, errors: SlotErrorModel) -> float:
+        """Probability that an ``n_bits`` payload decodes error-free."""
+
+    @abstractmethod
+    def encode_payload(self, bits: Sequence[int]) -> list[bool]:
+        """Map payload bits to an ON/OFF slot sequence."""
+
+    @abstractmethod
+    def decode_payload(self, slots: Sequence[bool], n_bits: int) -> list[int]:
+        """Recover ``n_bits`` payload bits from a slot sequence.
+
+        Raises ValueError (or a subclass) when the slots are corrupted
+        in a way the scheme can detect.
+        """
+
+    def data_rate(self, config: SystemConfig,
+                  errors: SlotErrorModel | None = None) -> float:
+        """Asymptotic PHY data rate in bit/s (no frame overhead)."""
+        return self.normalized_rate(errors) / config.t_slot
+
+
+class ModulationScheme(ABC):
+    """Factory of :class:`SchemeDesign` objects for one scheme."""
+
+    #: short name used in experiment tables ("AMPPM", "OOK-CT", ...)
+    name: str = "scheme"
+
+    def __init__(self, config: SystemConfig | None = None):
+        self.config = config if config is not None else SystemConfig()
+
+    @property
+    @abstractmethod
+    def supported_range(self) -> tuple[float, float]:
+        """Dimming levels the scheme can serve."""
+
+    @abstractmethod
+    def design(self, dimming: float) -> SchemeDesign:
+        """Bind the scheme to a required dimming level."""
+
+    def design_clamped(self, dimming: float) -> SchemeDesign:
+        """Clamp out-of-range requests to the nearest supported level."""
+        lo, hi = self.supported_range
+        return self.design(min(max(dimming, lo), hi))
+
+
+def bits_to_bools(bits: Sequence[int]) -> list[bool]:
+    """Validate and convert a 0/1 sequence to booleans."""
+    out = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"payload bits must be 0 or 1, got {bit!r}")
+        out.append(bool(bit))
+    return out

@@ -1,0 +1,140 @@
+"""DarkLight-style communication for lights-off hours (paper Section 7).
+
+The paper positions SmartVLC as orthogonal to DarkLight [35]: "when
+illumination is required, SmartVLC can be applied and when illumination
+is not required (e.g., at night), DarkLight can then be applied
+instead."  This module provides that companion mode: ultra-sparse
+single-pulse position modulation whose average light output is so low
+(one slot ON out of hundreds) that the LED *appears off* while still
+carrying data at a few kbps.
+
+It is an (N, 1) pulse-position code with N far beyond the AMPPM
+designer's range; the pulse position carries ``floor(log2 N)`` bits per
+symbol and the apparent brightness is 1/N.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errormodel import SlotErrorModel
+from ..core.params import SystemConfig
+from .base import ModulationScheme, SchemeDesign
+
+#: Largest symbol length the frame header can describe (12-bit field).
+MAX_DARKLIGHT_N = 4095
+
+
+class DarkLightDesign(SchemeDesign):
+    """Single-pulse PPM at an imperceptible duty cycle."""
+
+    def __init__(self, n_slots: int, config: SystemConfig):
+        if not 2 <= n_slots <= MAX_DARKLIGHT_N:
+            raise ValueError(
+                f"DarkLight symbol length must lie in [2, {MAX_DARKLIGHT_N}]"
+            )
+        self.n_slots = n_slots
+        self.config = config
+        self.target_dimming = 1.0 / n_slots
+
+    @property
+    def achieved_dimming(self) -> float:
+        return 1.0 / self.n_slots
+
+    @property
+    def bits(self) -> int:
+        """Bits per symbol: floor(log2 N) pulse positions are used."""
+        return self.n_slots.bit_length() - 1
+
+    @property
+    def positions(self) -> int:
+        """Number of usable pulse positions, 2**bits."""
+        return 1 << self.bits
+
+    def _symbol_error_rate(self, errors: SlotErrorModel) -> float:
+        ok = ((1.0 - errors.p_on_error)
+              * (1.0 - errors.p_off_error) ** (self.n_slots - 1))
+        return 1.0 - ok
+
+    def normalized_rate(self, errors: SlotErrorModel | None = None) -> float:
+        rate = self.bits / self.n_slots
+        if errors is not None:
+            rate *= 1.0 - self._symbol_error_rate(errors)
+        return rate
+
+    def payload_slots(self, n_bits: int) -> int:
+        symbols = -(-n_bits // self.bits)
+        return symbols * self.n_slots
+
+    def success_probability(self, n_bits: int, errors: SlotErrorModel) -> float:
+        symbols = -(-n_bits // self.bits)
+        return (1.0 - self._symbol_error_rate(errors)) ** symbols
+
+    def encode_payload(self, bits: Sequence[int]) -> list[bool]:
+        padded = list(bits)
+        padded.extend([0] * ((-len(padded)) % self.bits))
+        slots: list[bool] = []
+        for start in range(0, len(padded), self.bits):
+            value = 0
+            for bit in padded[start:start + self.bits]:
+                if bit not in (0, 1):
+                    raise ValueError(f"payload bits must be 0 or 1, got {bit!r}")
+                value = (value << 1) | bit
+            symbol = [False] * self.n_slots
+            symbol[value] = True
+            slots.extend(symbol)
+        return slots
+
+    def decode_payload(self, slots: Sequence[bool], n_bits: int) -> list[int]:
+        n = self.n_slots
+        if len(slots) % n:
+            raise ValueError(f"slot count {len(slots)} not a multiple of {n}")
+        bits: list[int] = []
+        for start in range(0, len(slots), n):
+            symbol = slots[start:start + n]
+            ons = [i for i, s in enumerate(symbol) if s]
+            if len(ons) != 1 or ons[0] >= self.positions:
+                raise ValueError(
+                    f"DarkLight symbol corrupted: pulse positions {ons}"
+                )
+            value = ons[0]
+            for shift in range(self.bits - 1, -1, -1):
+                bits.append((value >> shift) & 1)
+        if len(bits) < n_bits:
+            raise ValueError(f"decoded only {len(bits)} bits, need {n_bits}")
+        return bits[:n_bits]
+
+
+class DarkLight(ModulationScheme):
+    """Factory for :class:`DarkLightDesign`.
+
+    ``design(dimming)`` picks the symbol length whose 1/N duty is
+    closest to (but not above) the requested darkness level.
+    """
+
+    name = "DarkLight"
+
+    DEFAULT_N = 512
+
+    def __init__(self, config: SystemConfig | None = None,
+                 n_slots: int | None = None):
+        super().__init__(config)
+        self.n_slots = n_slots if n_slots is not None else self.DEFAULT_N
+        if not 2 <= self.n_slots <= MAX_DARKLIGHT_N:
+            raise ValueError(
+                f"DarkLight symbol length must lie in [2, {MAX_DARKLIGHT_N}]"
+            )
+
+    @property
+    def supported_range(self) -> tuple[float, float]:
+        return 1.0 / MAX_DARKLIGHT_N, 0.5
+
+    def design(self, dimming: float) -> DarkLightDesign:
+        if not 0.0 < dimming <= 0.5:
+            raise ValueError("DarkLight serves dimming levels in (0, 0.5]")
+        n = min(max(round(1.0 / dimming), 2), MAX_DARKLIGHT_N)
+        return DarkLightDesign(n, self.config)
+
+    def darkest_design(self) -> DarkLightDesign:
+        """The configured default darkness (duty 1/DEFAULT_N)."""
+        return DarkLightDesign(self.n_slots, self.config)

@@ -1,0 +1,115 @@
+"""OOK with Compensation Time — the compensation-based baseline.
+
+Bits map directly to slots (1 → ON, 0 → OFF), so random data averages a
+dimming level of 0.5.  Any other level is reached by appending a run of
+consecutive ONs or OFFs — the *compensation time* — which conveys no
+information (Fig. 1, "compensation-based approach").  The scheme can hit
+any dimming level, but its throughput collapses towards the extremes:
+the data fraction is 2l below 0.5 and 2(1-l) above it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.errormodel import SlotErrorModel
+from ..core.params import SystemConfig
+from .base import ModulationScheme, SchemeDesign, bits_to_bools
+
+
+class OokCtDesign(SchemeDesign):
+    """OOK-CT bound to one dimming level.
+
+    Compensation is computed for the *actual* ON count of each encoded
+    block, mirroring the prototype, which compensates per frame; the
+    rate/overhead maths below uses the equiprobable-bits expectation
+    (the paper's assumption in Section 6.1).
+    """
+
+    def __init__(self, dimming: float, config: SystemConfig):
+        if not 0.0 < dimming < 1.0:
+            raise ValueError("OOK-CT dimming level must lie in (0, 1)")
+        self.target_dimming = dimming
+        self.config = config
+
+    @property
+    def achieved_dimming(self) -> float:
+        """Compensation makes the achieved level exactly the target."""
+        return self.target_dimming
+
+    @property
+    def data_fraction(self) -> float:
+        """Expected fraction of slots carrying data: 2l or 2(1-l)."""
+        level = self.target_dimming
+        return 2.0 * level if level <= 0.5 else 2.0 * (1.0 - level)
+
+    def normalized_rate(self, errors: SlotErrorModel | None = None) -> float:
+        rate = self.data_fraction
+        if errors is not None:
+            # A data slot is a coin flip between ON and OFF.
+            rate *= 1.0 - 0.5 * (errors.p_on_error + errors.p_off_error)
+        return rate
+
+    def compensation_slots(self, n_data_slots: int, n_on: int) -> tuple[int, bool]:
+        """Compensation length and polarity for a block.
+
+        Returns ``(count, on)`` such that appending ``count`` slots of
+        value ``on`` brings the block average to the target level (to
+        within one slot's worth of granularity).
+        """
+        level = self.target_dimming
+        current = n_on / n_data_slots if n_data_slots else 0.0
+        if current > level:
+            # Append OFFs: (n_on) / (n + c) = level.
+            count = math.ceil(n_on / level - n_data_slots)
+            return max(count, 0), False
+        if current < level:
+            # Append ONs: (n_on + c) / (n + c) = level.
+            count = math.ceil((level * n_data_slots - n_on) / (1.0 - level))
+            return max(count, 0), True
+        return 0, False
+
+    def payload_slots(self, n_bits: int) -> int:
+        """Expected slot count for an equiprobable ``n_bits`` payload."""
+        if n_bits == 0:
+            return 0
+        count, _ = self.compensation_slots(n_bits, n_bits // 2)
+        return n_bits + count
+
+    def success_probability(self, n_bits: int, errors: SlotErrorModel) -> float:
+        """Every data slot must decode; compensation slots don't matter."""
+        p_ok = 1.0 - 0.5 * (errors.p_on_error + errors.p_off_error)
+        return p_ok ** n_bits
+
+    def encode_payload(self, bits: Sequence[int]) -> list[bool]:
+        slots = bits_to_bools(bits)
+        count, on = self.compensation_slots(len(slots), sum(slots))
+        return slots + [on] * count
+
+    def decode_payload(self, slots: Sequence[bool], n_bits: int) -> list[int]:
+        if len(slots) < n_bits:
+            raise ValueError(
+                f"need at least {n_bits} slots to recover {n_bits} bits, "
+                f"got {len(slots)}"
+            )
+        return [1 if s else 0 for s in slots[:n_bits]]
+
+
+class OokCt(ModulationScheme):
+    """Factory for :class:`OokCtDesign`."""
+
+    name = "OOK-CT"
+
+    @property
+    def supported_range(self) -> tuple[float, float]:
+        """Any level strictly inside (0, 1) — OOK-CT's selling point.
+
+        The open interval is reported through the smallest granularity
+        a single compensated frame can express.
+        """
+        eps = 1.0 / self.config.n_max_super
+        return eps, 1.0 - eps
+
+    def design(self, dimming: float) -> OokCtDesign:
+        return OokCtDesign(dimming, self.config)

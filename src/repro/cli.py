@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show every registered experiment id.
+* ``run <id> [...]`` — regenerate experiments and render them as text;
+  ``--csv DIR`` / ``--json DIR`` additionally export machine-readable
+  files.
+* ``design <dimming>`` — ask the AMPPM designer for the best
+  super-symbol at a dimming level and print its properties.
+* ``info`` — the active configuration and derived constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import AmppmDesigner, SystemConfig
+from .experiments import experiment_ids, run_experiment
+from .sim.export import write_figure_csv, write_json, write_table_csv
+from .sim.results import FigureResult
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartVLC (CoNEXT 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_cmd = sub.add_parser("run", help="regenerate experiments")
+    run_cmd.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids (default: all)")
+    run_cmd.add_argument("--csv", metavar="DIR", default=None,
+                         help="also export CSV files into DIR")
+    run_cmd.add_argument("--json", metavar="DIR", default=None,
+                         help="also export JSON files into DIR")
+
+    design_cmd = sub.add_parser("design",
+                                help="design a super-symbol for a dimming level")
+    design_cmd.add_argument("dimming", type=float,
+                            help="required dimming level in (0, 1)")
+
+    sub.add_parser("info", help="show the active configuration")
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for experiment_id in experiment_ids():
+        print(experiment_id, file=out)
+    return 0
+
+
+def _cmd_run(ids: Sequence[str], csv_dir: str | None, json_dir: str | None,
+             out) -> int:
+    requested = list(ids) or experiment_ids()
+    unknown = sorted(set(requested) - set(experiment_ids()))
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    for experiment_id in requested:
+        result = run_experiment(experiment_id)
+        print("=" * 72, file=out)
+        print(result.render(), file=out)
+        if csv_dir is not None:
+            target = Path(csv_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            path = target / f"{experiment_id}.csv"
+            if isinstance(result, FigureResult):
+                write_figure_csv(result, path)
+            else:
+                write_table_csv(result, path)
+            print(f"[csv] {path}", file=out)
+        if json_dir is not None:
+            target = Path(json_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            path = write_json(result, target / f"{experiment_id}.json")
+            print(f"[json] {path}", file=out)
+    return 0
+
+
+def _cmd_design(dimming: float, out) -> int:
+    config = SystemConfig()
+    designer = AmppmDesigner(config)
+    lo, hi = designer.supported_range
+    if not lo <= dimming <= hi:
+        print(f"dimming {dimming} outside supported range "
+              f"[{lo:.3f}, {hi:.3f}]", file=sys.stderr)
+        return 2
+    design = designer.design(dimming)
+    print(f"target dimming   : {dimming:.4f}", file=out)
+    print(f"super-symbol     : {design.super_symbol}", file=out)
+    print(f"achieved dimming : {design.achieved_dimming:.4f}", file=out)
+    print(f"slots / bits     : {design.super_symbol.n_slots} / "
+          f"{design.super_symbol.bits}", file=out)
+    print(f"PHY data rate    : {design.data_rate(config) / 1e3:.1f} kbps",
+          file=out)
+    return 0
+
+
+def _cmd_info(out) -> int:
+    config = SystemConfig()
+    print("SmartVLC reproduction — active configuration", file=out)
+    print(f"  t_slot        : {config.t_slot * 1e6:.1f} us "
+          f"(f_tx {config.f_tx / 1e3:.0f} kHz)", file=out)
+    print(f"  f_flicker     : {config.f_flicker:.0f} Hz "
+          f"(N_max {config.n_max_super} slots)", file=out)
+    print(f"  P1 / P2       : {config.p_off_error:g} / "
+          f"{config.p_on_error:g}", file=out)
+    print(f"  SER bound     : {config.ser_bound:g}", file=out)
+    print(f"  N range       : {config.n_min}..{config.n_cap}", file=out)
+    print(f"  tau_perceived : {config.tau_perceived:g}", file=out)
+    print(f"  payload       : {config.payload_bytes} bytes", file=out)
+    designer = AmppmDesigner(config)
+    lo, hi = designer.supported_range
+    print(f"  candidates    : {len(designer.candidates)} patterns, "
+          f"dimming {lo:.3f}..{hi:.3f}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args.ids, args.csv, args.json, out)
+    if args.command == "design":
+        return _cmd_design(args.dimming, out)
+    if args.command == "info":
+        return _cmd_info(out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

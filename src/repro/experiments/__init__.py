@@ -1,0 +1,35 @@
+"""Experiment harnesses: one module per figure/table of the evaluation.
+
+Importing this package registers every runner with the registry;
+``run_experiment("fig15")`` then regenerates Fig. 15, and so on.  The
+mapping from experiment ids to paper artefacts lives in DESIGN.md §3.
+"""
+
+from . import (  # noqa: F401  (import-for-registration)
+    ext_burst,
+    ext_energy,
+    ext_payload,
+    ext_room,
+    ext_serbound,
+    fig04_ser,
+    fig06_multiplexing,
+    fig08_serbound,
+    fig09_envelope,
+    fig10_domains,
+    fig15_throughput,
+    fig16_distance,
+    fig17_angle,
+    fig19_dynamic,
+    headline,
+    table2_flicker,
+)
+from .registry import REGISTRY, experiment_ids, run_experiment
+
+ALL_EXPERIMENTS = tuple(REGISTRY.ids())
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "REGISTRY",
+    "experiment_ids",
+    "run_experiment",
+]

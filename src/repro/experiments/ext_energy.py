@@ -1,0 +1,44 @@
+"""Extension: energy saved by smart dimming over the dynamic scenario.
+
+Not a paper figure — the paper *motivates* SmartVLC with lighting's
+energy footprint (Section 1) but never quantifies the saving on its own
+test bed.  This harness closes that loop: run the Fig. 19 blind pull
+and account the LED's electrical energy against a non-smart
+installation pinned at full brightness.
+"""
+
+from __future__ import annotations
+
+from ..core.params import SystemConfig
+from ..lighting.energy import energy_report
+from ..sim.results import TableResult
+from .registry import register
+
+
+@register("ext-energy")
+def run(config: SystemConfig | None = None,
+        full_power_w: float = 4.7) -> TableResult:
+    """Energy ledger of the 67 s dynamic run."""
+    from .fig19_dynamic import run_scenario
+
+    config = config if config is not None else SystemConfig()
+    result = run_scenario(config)
+    report = energy_report(result.led_trace, tick_s=1.0,
+                           full_power_w=full_power_w)
+    rows = (
+        ("run duration", f"{report.duration_s:.0f} s"),
+        ("smart LED energy", f"{report.smart_joules:.1f} J"),
+        ("always-full baseline", f"{report.baseline_joules:.1f} J"),
+        ("energy saved", f"{report.saved_joules:.1f} J"),
+        ("saving fraction", f"{100 * report.saving_fraction:.0f}%"),
+        ("mean electrical power", f"{report.smart_average_w:.2f} W "
+                                  f"of {full_power_w} W"),
+    )
+    return TableResult(
+        table_id="ext-energy",
+        title="Extension: energy saved by smart dimming (Fig. 19 scenario)",
+        header=("quantity", "value"),
+        rows=rows,
+        notes="duty-cycle dimming => electrical power proportional to "
+              "the dimming level",
+    )

@@ -1,0 +1,66 @@
+"""Fig. 6 — supported dimming levels before/after multiplexing (N = 10).
+
+Before: a fixed N = 10 MPPM offers nine discrete (dimming, rate)
+points.  After: multiplexing any two of those symbols into flicker-free
+super-symbols fills the dimming axis almost continuously.  Expected
+shape: the 'after' point cloud covers a semi-continuous range at and
+between the original points, with rates on the chords between them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.params import SystemConfig
+from ..core.supersymbol import SuperSymbol
+from ..core.symbols import SymbolPattern
+from ..sim.results import FigureResult, Series
+from .registry import register
+
+
+@register("fig06")
+def run(config: SystemConfig | None = None, n_slots: int = 10) -> FigureResult:
+    """Dimming level vs normalized rate, before and after multiplexing."""
+    config = config if config is not None else SystemConfig()
+    patterns = [SymbolPattern(n_slots, k) for k in range(1, n_slots)]
+
+    before = Series(
+        "before",
+        tuple(p.dimming for p in patterns),
+        tuple(p.normalized_rate() for p in patterns),
+    )
+
+    points: dict[float, float] = {}
+
+    def add(dimming: float, rate: float) -> None:
+        key = round(dimming, 6)
+        if rate > points.get(key, -1.0):
+            points[key] = rate
+
+    for p in patterns:
+        add(p.dimming, p.normalized_rate())
+    for p1, p2 in combinations(patterns, 2):
+        for m1 in range(1, config.m_cap + 1):
+            for m2 in range(1, config.m_cap + 1):
+                super_symbol = SuperSymbol(p1, m1, p2, m2)
+                if not super_symbol.flicker_free(config):
+                    break
+                add(super_symbol.dimming, super_symbol.normalized_rate())
+
+    ordered = sorted(points.items())
+    after = Series(
+        "after",
+        tuple(x for x, _ in ordered),
+        tuple(y for _, y in ordered),
+    )
+    return FigureResult(
+        figure_id="fig06",
+        title="Supported dimming levels before/after multiplexing (N=10)",
+        x_label="dimming level",
+        y_label="normalized data rate (bits/slot)",
+        series=(before, after),
+        notes=(
+            f"before: {len(before.x)} discrete levels; after: {len(after.x)} "
+            "semi-continuous levels from pairwise flicker-free multiplexing."
+        ),
+    )

@@ -1,0 +1,50 @@
+"""Fig. 8 — candidate symbol patterns under the SER upper bound.
+
+Step 2 of the AMPPM designer: symbol patterns whose Eq. (3) SER exceeds
+the bound are abandoned.  The figure shows SER-vs-dimming curves for a
+few N with the bound as a horizontal cut: small-N curves sit fully
+below it, large-N curves are partially or fully pruned.
+"""
+
+from __future__ import annotations
+
+from ..core.errormodel import SlotErrorModel
+from ..core.params import SystemConfig
+from ..core.symbols import candidate_patterns
+from ..sim.results import FigureResult, Series
+from .registry import register
+
+#: The paper plots N = 10/30/50; we add the designer's cap (63), where
+#: the default bound actually bites with the measured P1/P2 constants.
+N_VALUES = (10, 30, 50, 63)
+
+
+@register("fig08")
+def run(config: SystemConfig | None = None,
+        n_values: tuple[int, ...] = N_VALUES) -> FigureResult:
+    """SER curves with the designer's upper bound overlaid."""
+    config = config if config is not None else SystemConfig()
+    errors = SlotErrorModel.from_config(config)
+
+    series = []
+    for n in n_values:
+        dims = tuple(k / n for k in range(1, n))
+        sers = tuple(errors.symbol_error_rate(n, k) for k in range(1, n))
+        series.append(Series(f"N={n}", dims, sers))
+    bound = Series("upper bound", (0.0, 1.0),
+                   (config.ser_bound, config.ser_bound))
+
+    survivors = candidate_patterns(config, errors)
+    per_n = {n: sum(1 for p in survivors if p.n_slots == n) for n in n_values}
+    return FigureResult(
+        figure_id="fig08",
+        title="Available patterns: below the SER upper bound",
+        x_label="dimming level",
+        y_label="symbol error rate",
+        series=(*series, bound),
+        notes=(
+            f"bound={config.ser_bound:g}; surviving patterns per N: "
+            + ", ".join(f"N={n}: {per_n[n]}" for n in n_values)
+            + f"; total candidates: {len(survivors)}"
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Fig. 9 — best pattern selection based on slope (the envelope).
+
+The slope walk starts at the highest-rate pattern near l = 0.5 and hops
+to the point minimising the descent; connecting the hops gives the
+throughput envelope, and any dimming level between two neighbouring
+vertices is served by multiplexing them.  Expected shape: the envelope
+dominates every discrete pattern and the without-multiplexing staircase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ampdesign import AmppmDesigner
+from ..core.envelope import score_points
+from ..core.params import SystemConfig
+from ..sim.results import FigureResult, Series
+from .registry import register
+
+
+@register("fig09")
+def run(config: SystemConfig | None = None,
+        dimming_lo: float = 0.5, dimming_hi: float = 0.7,
+        step: float = 0.005) -> FigureResult:
+    """The envelope vs the no-multiplexing staircase over [lo, hi]."""
+    config = config if config is not None else SystemConfig()
+    designer = AmppmDesigner(config)
+
+    points = score_points(designer.candidates, designer.errors)
+    window = [p for p in points if dimming_lo <= p.dimming <= dimming_hi]
+    discrete = Series(
+        "patterns",
+        tuple(p.dimming for p in window),
+        tuple(p.rate for p in window),
+    )
+
+    targets = np.arange(dimming_lo, dimming_hi + 1e-9, step)
+    staircase = []
+    for target in targets:
+        best = max((p.rate for p in points
+                    if abs(p.dimming - target) <= step / 2), default=None)
+        if best is None:
+            # Without multiplexing the nearest discrete level serves.
+            nearest = min(points, key=lambda p: abs(p.dimming - target))
+            best = nearest.rate
+        staircase.append(best)
+    without = Series("without multiplexing", tuple(float(t) for t in targets),
+                     tuple(staircase))
+
+    ampem = Series(
+        "AMPPM (envelope)",
+        tuple(float(t) for t in targets),
+        tuple(designer.design(float(t)).normalized_rate(designer.errors)
+              for t in targets),
+    )
+
+    vertices = [p for p in designer.envelope.points
+                if dimming_lo - 1e-9 <= p.dimming <= dimming_hi + 1e-9]
+    return FigureResult(
+        figure_id="fig09",
+        title="Best pattern selection based on slope",
+        x_label="dimming level",
+        y_label="normalized data rate (bits/slot)",
+        series=(discrete, without, ampem),
+        notes=(
+            "envelope vertices in window: "
+            + ", ".join(f"S({p.pattern.n_slots},{p.pattern.dimming:.3f})"
+                        for p in vertices)
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Fig. 10 — adaptation in the measured vs the perceived domain.
+
+Both panels show the perception curve Ip = 100·√(Im/100); the markers
+are the intermediate intensities an adaptation from dark to bright
+visits.  Fixed measured steps (panel a) crowd the perceptually
+sensitive dark region and waste steps when bright; fixed perceived
+steps (panel b, SmartVLC) space the measured steps non-uniformly and
+need far fewer of them for the same flicker guarantee.
+"""
+
+from __future__ import annotations
+
+from ..core.adaptation import plan_measured_steps, plan_perceived_steps, safe_measured_tau
+from ..core.params import SystemConfig
+from ..core.perception import to_perceived_percent
+from ..sim.results import FigureResult, Series
+from .registry import register
+
+
+@register("fig10")
+def run(config: SystemConfig | None = None,
+        start: float = 0.05, target: float = 0.95,
+        display_steps: int = 12) -> FigureResult:
+    """The two stepping strategies along the perception curve.
+
+    ``display_steps`` thins the marker sets to the paper's visual
+    density; the note records the true step counts.
+    """
+    config = config if config is not None else SystemConfig()
+
+    curve_x = tuple(i / 100 for i in range(0, 101, 2))
+    curve = Series("Ip = 100*sqrt(Im/100)",
+                   tuple(100 * x for x in curve_x),
+                   tuple(to_perceived_percent(100 * x) for x in curve_x))
+
+    tau_measured = safe_measured_tau(start, config.tau_perceived)
+    measured_plan = plan_measured_steps(start, target, tau_measured)
+    perceived_plan = plan_perceived_steps(start, target, config.tau_perceived)
+
+    def thin(levels: tuple[float, ...]) -> tuple[float, ...]:
+        if len(levels) <= display_steps:
+            return levels
+        stride = max(1, len(levels) // display_steps)
+        return tuple(levels[::stride])
+
+    measured_markers = thin(measured_plan.levels)
+    perceived_markers = thin(perceived_plan.levels)
+    measured_series = Series(
+        "measured-domain steps",
+        tuple(100 * m for m in measured_markers),
+        tuple(to_perceived_percent(100 * m) for m in measured_markers))
+    perceived_series = Series(
+        "perceived-domain steps",
+        tuple(100 * m for m in perceived_markers),
+        tuple(to_perceived_percent(100 * m) for m in perceived_markers))
+
+    return FigureResult(
+        figure_id="fig10",
+        title="Adaptation to dynamic ambient light: step domains",
+        x_label="measured LED light (%)",
+        y_label="perceived LED light (%)",
+        series=(curve, measured_series, perceived_series),
+        notes=(
+            f"steps from {start:.2f} to {target:.2f}: "
+            f"measured-domain {measured_plan.n_steps}, "
+            f"perceived-domain {perceived_plan.n_steps} "
+            f"(max perceived move {perceived_plan.max_perceived_step:.4f} "
+            f"<= tau_p {config.tau_perceived})"
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Registry of every reproduced figure and table.
+
+Each experiment module registers its runner here; benchmarks, the CLI
+renderer and EXPERIMENTS.md generation all go through
+:func:`run_experiment` so there is exactly one way to regenerate any
+artefact of the paper.
+"""
+
+from __future__ import annotations
+
+from ..sim.results import ExperimentRegistry
+
+REGISTRY = ExperimentRegistry()
+
+
+def register(experiment_id: str):
+    """Decorator registering a runner under an experiment id."""
+
+    def wrap(func):
+        REGISTRY.register(experiment_id, func)
+        return func
+
+    return wrap
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id (see :func:`experiment_ids`)."""
+    # Importing the package registers all runners.
+    from . import ALL_EXPERIMENTS  # noqa: F401
+
+    return REGISTRY.run(experiment_id, **kwargs)
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids."""
+    from . import ALL_EXPERIMENTS  # noqa: F401
+
+    return REGISTRY.ids()

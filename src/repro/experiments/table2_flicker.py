@@ -1,0 +1,55 @@
+"""Table 2 — users' perception of flickering.
+
+The 20-volunteer census over dimming-step resolutions, for both viewing
+manners and the three ambient conditions.  Expected structure: darker
+ambient light (L3) and direct viewing make users more sensitive; the
+largest universally safe resolution under direct viewing is 0.003,
+which is where the paper's tau_p comes from.
+"""
+
+from __future__ import annotations
+
+from ..core.params import SystemConfig
+from ..lighting.userstudy import (
+    AmbientCondition,
+    Viewing,
+    VolunteerPopulation,
+)
+from ..sim.results import TableResult
+from .registry import register
+
+
+def _half(population: VolunteerPopulation, viewing: Viewing,
+          title: str) -> TableResult:
+    census = population.census(viewing)
+    rows = []
+    for resolution, by_condition in sorted(census.items()):
+        rows.append((
+            f"{resolution:g}",
+            *(f"{by_condition[c]:.0f}%" for c in AmbientCondition),
+        ))
+    return TableResult(
+        table_id=f"table2-{viewing.value}",
+        title=title,
+        header=("Res.", "L1", "L2", "L3"),
+        rows=tuple(rows),
+        notes=f"{population.n_volunteers} volunteers, seeded census",
+    )
+
+
+@register("table2-direct")
+def run_direct(config: SystemConfig | None = None,
+               population: VolunteerPopulation | None = None) -> TableResult:
+    """Table 2(b): perception under direct viewing."""
+    population = population if population is not None else VolunteerPopulation()
+    return _half(population, Viewing.DIRECT,
+                 "Users' perception of flickering (direct viewing)")
+
+
+@register("table2-indirect")
+def run_indirect(config: SystemConfig | None = None,
+                 population: VolunteerPopulation | None = None) -> TableResult:
+    """Table 2(a): perception under indirect viewing."""
+    population = population if population is not None else VolunteerPopulation()
+    return _half(population, Viewing.INDIRECT,
+                 "Users' perception of flickering (indirect viewing)")

@@ -1,0 +1,176 @@
+"""Ambient light environments (Section 6.1, "Ambient light control").
+
+The paper controls ambient light with an electrically driven window
+blind: fixed position for the static scenario, a constant-speed 67 s
+pull for the dynamic one (Fig. 19), with the caveat that real ambient
+light "does not change perfectly linearly with the blind's position".
+
+All profiles expose a normalized intensity in [0, 1] as a function of
+time, where 1.0 is the paper's brightest condition (sunny day, blind at
+the top, ceiling lights on — L1, 8900-9760 lux).  :data:`LUX_FULL_SCALE`
+converts to lux for the user-study conditions.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Normalized 1.0 corresponds to the top of the paper's L1 band.
+LUX_FULL_SCALE = 9760.0
+
+
+class AmbientProfile(ABC):
+    """A deterministic ambient-light trajectory."""
+
+    @abstractmethod
+    def intensity(self, t: float) -> float:
+        """Normalized ambient level in [0, 1] at time ``t`` seconds."""
+
+    def lux(self, t: float) -> float:
+        """Ambient illuminance in lux at time ``t``."""
+        return self.intensity(t) * LUX_FULL_SCALE
+
+    def trace(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`intensity` over an array of times."""
+        return np.asarray([self.intensity(float(t)) for t in np.asarray(times)])
+
+
+@dataclass(frozen=True)
+class StaticAmbient(AmbientProfile):
+    """Blind fixed at one position (the static scenario)."""
+
+    level: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.0:
+            raise ValueError("ambient level must lie in [0, 1]")
+
+    def intensity(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class BlindRampAmbient(AmbientProfile):
+    """The 67-second constant-speed blind pull of Fig. 19.
+
+    The blind position moves linearly, but the admitted light does not:
+    a gentle S-shape (direct sun enters fastest mid-travel) plus a
+    seeded, smooth perturbation reproduce the paper's observation that
+    the throughput trace is not perfectly smooth.
+    """
+
+    start_level: float = 0.10
+    end_level: float = 0.90
+    duration_s: float = 67.0
+    curvature: float = 0.25
+    wobble: float = 0.03
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        for name, level in (("start_level", self.start_level),
+                            ("end_level", self.end_level)):
+            if not 0.0 <= level <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 <= self.curvature < 0.5:
+            raise ValueError("curvature must lie in [0, 0.5)")
+        if self.wobble < 0:
+            raise ValueError("wobble must be non-negative")
+        # Smooth perturbation: a few seeded sinusoids (deterministic,
+        # differentiable, zero-mean).
+        rng = np.random.default_rng(self.seed)
+        phases = rng.uniform(0.0, 2.0 * math.pi, size=4)
+        weights = rng.uniform(0.4, 1.0, size=4)
+        object.__setattr__(self, "_phases", tuple(phases))
+        object.__setattr__(self, "_weights", tuple(weights / weights.sum()))
+
+    def intensity(self, t: float) -> float:
+        x = min(max(t / self.duration_s, 0.0), 1.0)
+        # S-curve: blend linear travel with a smoothstep.
+        smooth = x * x * (3.0 - 2.0 * x)
+        shaped = (1.0 - self.curvature) * x + self.curvature * smooth
+        level = self.start_level + (self.end_level - self.start_level) * shaped
+        if self.wobble and 0.0 < x < 1.0:
+            ripple = sum(
+                w * math.sin(2.0 * math.pi * (k + 1) * 0.8 * x + p)
+                for k, (w, p) in enumerate(zip(self._weights, self._phases))
+            )
+            # Taper the ripple at both ends so the end levels are exact.
+            level += self.wobble * ripple * math.sin(math.pi * x)
+        return min(max(level, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class CloudyDayAmbient(AmbientProfile):
+    """Fast-moving clouds over a daylight arc (the Netherlands case).
+
+    A slow sinusoidal daylight envelope modulated by seeded, smoothed
+    cloud attenuation — the "weather changes super fast" scenario the
+    paper motivates SmartVLC with.
+    """
+
+    day_length_s: float = 600.0
+    peak_level: float = 0.9
+    cloud_depth: float = 0.5
+    cloud_time_scale_s: float = 20.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.day_length_s <= 0 or self.cloud_time_scale_s <= 0:
+            raise ValueError("time scales must be positive")
+        if not 0.0 < self.peak_level <= 1.0:
+            raise ValueError("peak_level must lie in (0, 1]")
+        if not 0.0 <= self.cloud_depth < 1.0:
+            raise ValueError("cloud_depth must lie in [0, 1)")
+        rng = np.random.default_rng(self.seed)
+        n_knots = max(4, int(self.day_length_s / self.cloud_time_scale_s) + 2)
+        object.__setattr__(self, "_knots", tuple(rng.uniform(0.0, 1.0, size=n_knots)))
+
+    def _cloud_factor(self, t: float) -> float:
+        """Cosine-interpolated cloud cover in [0, 1]."""
+        knots = self._knots
+        position = (t / self.cloud_time_scale_s) % (len(knots) - 1)
+        i = int(position)
+        frac = position - i
+        w = 0.5 - 0.5 * math.cos(math.pi * frac)
+        return knots[i] * (1.0 - w) + knots[i + 1] * w
+
+    def intensity(self, t: float) -> float:
+        x = min(max(t / self.day_length_s, 0.0), 1.0)
+        daylight = self.peak_level * math.sin(math.pi * x)
+        attenuation = 1.0 - self.cloud_depth * self._cloud_factor(t)
+        return min(max(daylight * attenuation, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class StepAmbient(AmbientProfile):
+    """Piecewise-constant ambient light for controller tests."""
+
+    steps: tuple[tuple[float, float], ...] = field(
+        default=((0.0, 0.2),))
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("at least one step is required")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("step times must be non-decreasing")
+        if self.steps[0][0] > 0.0:
+            raise ValueError("the first step must start at t <= 0")
+        for _, level in self.steps:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError("step levels must lie in [0, 1]")
+
+    def intensity(self, t: float) -> float:
+        level = self.steps[0][1]
+        for when, value in self.steps:
+            if t >= when:
+                level = value
+            else:
+                break
+        return level

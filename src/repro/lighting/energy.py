@@ -1,0 +1,86 @@
+"""Energy accounting: the 'why' of smart lighting (Section 1).
+
+Lighting consumes ~one fifth of the world's electricity; a smart
+lighting system saves energy by dimming the LED whenever daylight
+covers part of the illumination target.  With digital (duty-cycle)
+dimming, electrical power is proportional to the dimming level, so the
+energy of a run is the integral of the LED intensity trace.
+
+:func:`energy_report` compares a controller trace against the dumb
+baseline (LED pinned at the level needed with zero ambient light) —
+the number a deployment would quote as "energy saved".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy consumed over a run, smart vs always-on baseline."""
+
+    duration_s: float
+    smart_joules: float
+    baseline_joules: float
+
+    @property
+    def saved_joules(self) -> float:
+        """Energy avoided by tracking ambient light."""
+        return self.baseline_joules - self.smart_joules
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fraction of the baseline energy saved."""
+        if self.baseline_joules <= 0:
+            return 0.0
+        return self.saved_joules / self.baseline_joules
+
+    @property
+    def smart_average_w(self) -> float:
+        """Mean electrical power of the smart run."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.smart_joules / self.duration_s
+
+
+def led_power_w(dimming: float, full_power_w: float) -> float:
+    """Electrical power at a dimming level (duty-cycle dimming).
+
+    Digital dimming switches the LED fully on for l of the time, so
+    power scales linearly with l — unlike analog dimming, whose
+    current/efficacy curve is non-linear (and shifts colour,
+    Section 2.1).
+    """
+    if not 0.0 <= dimming <= 1.0:
+        raise ValueError("dimming must lie in [0, 1]")
+    if full_power_w < 0:
+        raise ValueError("full_power_w must be non-negative")
+    return dimming * full_power_w
+
+
+def trace_energy_j(levels: Sequence[float], tick_s: float,
+                   full_power_w: float) -> float:
+    """Energy of a piecewise-constant dimming trace."""
+    if tick_s <= 0:
+        raise ValueError("tick_s must be positive")
+    return sum(led_power_w(level, full_power_w) for level in levels) * tick_s
+
+
+def energy_report(led_trace: Sequence[float], tick_s: float,
+                  full_power_w: float = 4.7,
+                  baseline_level: float = 1.0) -> EnergyReport:
+    """Compare a smart-lighting run against a fixed-level baseline.
+
+    ``baseline_level`` is what a non-smart installation would run at to
+    guarantee the target illuminance with no daylight help (usually the
+    full level the controller would command at zero ambient).
+    """
+    levels = list(led_trace)
+    if not levels:
+        raise ValueError("led_trace must not be empty")
+    duration = len(levels) * tick_s
+    smart = trace_energy_j(levels, tick_s, full_power_w)
+    baseline = led_power_w(baseline_level, full_power_w) * duration
+    return EnergyReport(duration, smart, baseline)

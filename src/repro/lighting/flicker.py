@@ -1,0 +1,119 @@
+"""Flicker detectors for both of the paper's flicker types (Section 2.2).
+
+* **Type-I** — slow ON/OFF alternation: the light's repetition
+  frequency falls below the fusion threshold f_th.  Checked on slot
+  streams, both structurally (no constant run longer than the Eq. (4)
+  bound) and perceptually (a moving average over the fusion window must
+  not swing visibly).
+* **Type-II** — a slow *large* step of the average intensity: checked
+  on dimming-level traces, where every individual move must stay under
+  the perceived resolution tau_p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.params import SystemConfig
+from ..core.perception import perceived_step
+
+
+def max_constant_run(slots: Sequence[bool]) -> int:
+    """Length of the longest run of identical slot values."""
+    longest = 0
+    current = 0
+    previous: bool | None = None
+    for slot in slots:
+        if slot == previous:
+            current += 1
+        else:
+            current = 1
+            previous = slot
+        longest = max(longest, current)
+    return longest
+
+
+def type1_structural_ok(slots: Sequence[bool], config: SystemConfig) -> bool:
+    """No constant run exceeds one fusion period (N_max slots).
+
+    This is the slot-stream analogue of the Eq. (4) super-symbol bound:
+    a run of N_max identical slots holds the light steady for a full
+    1/f_th, so anything longer alternates below the fusion frequency.
+    """
+    return max_constant_run(slots) <= config.n_max_super
+
+
+@dataclass(frozen=True)
+class Type1Report:
+    """Perceptual Type-I analysis of a slot stream."""
+
+    window_slots: int
+    mean_brightness: float
+    max_deviation: float
+    threshold: float
+
+    @property
+    def flicker_free(self) -> bool:
+        """True when the fused brightness never swings visibly."""
+        return self.max_deviation <= self.threshold
+
+
+def type1_perceptual(slots: Sequence[bool], config: SystemConfig,
+                     threshold: float | None = None) -> Type1Report:
+    """Moving-average flicker analysis over the eye's fusion window.
+
+    The eye low-passes at roughly f_th; a moving average over one
+    fusion period approximates the perceived brightness.  Flicker-free
+    means that perceived brightness stays within ``threshold`` of its
+    mean (default: the Type-II resolution bound scaled to measured
+    domain at mid brightness, a deliberately strict choice).
+    """
+    window = config.n_max_super
+    values = np.asarray([1.0 if s else 0.0 for s in slots])
+    if values.size < window:
+        raise ValueError(
+            f"need at least one fusion window ({window} slots), got {values.size}"
+        )
+    kernel = np.ones(window) / window
+    fused = np.convolve(values, kernel, mode="valid")
+    mean = float(fused.mean())
+    deviation = float(np.abs(fused - mean).max())
+    if threshold is None:
+        # tau_p is defined in the perceived domain; at mid brightness
+        # d(perceived)/d(measured) ≈ 1/(2*sqrt(0.5)) ≈ 0.71, so a
+        # measured swing of ~1.4*tau_p maps to tau_p perceived.
+        threshold = 1.5 * config.tau_perceived
+    return Type1Report(window, mean, deviation, threshold)
+
+
+@dataclass(frozen=True)
+class Type2Report:
+    """Type-II analysis of a dimming-level trajectory."""
+
+    n_moves: int
+    max_perceived_step: float
+    threshold: float
+    worst_index: int
+
+    @property
+    def flicker_free(self) -> bool:
+        """True when no single move exceeds the perceived bound."""
+        return self.max_perceived_step <= self.threshold + 1e-12
+
+
+def type2_analyze(levels: Sequence[float], config: SystemConfig) -> Type2Report:
+    """Check every consecutive move of a measured-intensity trace."""
+    levels = list(levels)
+    if len(levels) < 2:
+        return Type2Report(0, 0.0, config.tau_perceived, 0)
+    worst = 0.0
+    worst_index = 0
+    for i, (a, b) in enumerate(zip(levels, levels[1:])):
+        step = perceived_step(a, b)
+        if step > worst:
+            worst = step
+            worst_index = i
+    return Type2Report(len(levels) - 1, worst, config.tau_perceived, worst_index)

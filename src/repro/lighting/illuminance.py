@@ -1,0 +1,115 @@
+"""Physical illuminance at the work surface: lux, not just ratios.
+
+The controller's Goal 1 is expressed in the paper as normalized
+intensities (I_sum = I_led + I_amb).  This module grounds those numbers
+in photometry so deployments can reason in lux: a Lambertian luminaire
+of known luminous flux at a known mounting height produces a horizontal
+illuminance at the desk; the dimming level scales it linearly (digital
+dimming), and ambient daylight adds on top.
+
+The default luminaire matches the prototype's Philips 4.7 W lamp
+(~470 lm) at a 2.5 m ceiling, giving a few hundred lux directly below —
+a realistic office desk contribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..phy.optics import OpticalFrontEnd
+
+
+@dataclass(frozen=True)
+class Luminaire:
+    """A ceiling-mounted Lambertian luminaire.
+
+    Attributes:
+        luminous_flux_lm: Total flux at dimming level 1.0.
+        semi_angle_deg: Half-power beam angle (shared with the comms
+            front end: it is the same physical LED).
+        height_m: Vertical distance from luminaire to work surface.
+    """
+
+    luminous_flux_lm: float = 470.0
+    semi_angle_deg: float = 15.0
+    height_m: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.luminous_flux_lm <= 0:
+            raise ValueError("luminous_flux_lm must be positive")
+        if not 0.0 < self.semi_angle_deg < 90.0:
+            raise ValueError("semi_angle_deg must lie in (0, 90)")
+        if self.height_m <= 0:
+            raise ValueError("height_m must be positive")
+
+    @property
+    def lambertian_order(self) -> float:
+        """Beam order m = -ln 2 / ln cos(φ_1/2)."""
+        return -math.log(2.0) / math.log(math.cos(math.radians(self.semi_angle_deg)))
+
+    @property
+    def peak_intensity_cd(self) -> float:
+        """On-axis luminous intensity: I0 = Φ (m+1) / 2π."""
+        m = self.lambertian_order
+        return self.luminous_flux_lm * (m + 1.0) / (2.0 * math.pi)
+
+    def illuminance_lux(self, dimming: float,
+                        radial_offset_m: float = 0.0) -> float:
+        """Horizontal illuminance at the desk, ``offset`` from the axis.
+
+        E = I0 · cos^m(φ) · cos(φ) / d² scaled by the dimming level,
+        where φ is the angle off the luminaire axis and the extra
+        cos(φ) projects onto the horizontal surface.
+        """
+        if not 0.0 <= dimming <= 1.0:
+            raise ValueError("dimming must lie in [0, 1]")
+        if radial_offset_m < 0:
+            raise ValueError("radial_offset_m must be non-negative")
+        d = math.hypot(self.height_m, radial_offset_m)
+        cos_phi = self.height_m / d
+        m = self.lambertian_order
+        return dimming * self.peak_intensity_cd * cos_phi ** (m + 1) / d ** 2
+
+    def dimming_for_lux(self, target_lux: float,
+                        radial_offset_m: float = 0.0) -> float:
+        """Dimming level producing ``target_lux`` (clipped to [0, 1])."""
+        if target_lux < 0:
+            raise ValueError("target_lux must be non-negative")
+        full = self.illuminance_lux(1.0, radial_offset_m)
+        if full <= 0:
+            return 0.0
+        return min(target_lux / full, 1.0)
+
+    def comms_front_end(self, tx_power_w: float = 4.7,
+                        **kwargs: float) -> OpticalFrontEnd:
+        """The matching communications front end (same beam shape)."""
+        return OpticalFrontEnd(tx_power_w=tx_power_w,
+                               semi_angle_deg=self.semi_angle_deg,
+                               **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class DeskIlluminance:
+    """Total illuminance bookkeeping at one desk."""
+
+    luminaire: Luminaire
+    ambient_full_lux: float = 9760.0  # the paper's L1 upper band
+    radial_offset_m: float = 0.0
+
+    def total_lux(self, dimming: float, ambient: float) -> float:
+        """LED contribution + daylight at the desk."""
+        if not 0.0 <= ambient <= 1.0:
+            raise ValueError("ambient must lie in [0, 1]")
+        led = self.luminaire.illuminance_lux(dimming, self.radial_offset_m)
+        return led + ambient * self.ambient_full_lux
+
+    def dimming_for_total(self, target_lux: float, ambient: float) -> float:
+        """Dimming level completing ``target_lux`` given daylight.
+
+        The lux-domain analogue of the controller's Goal 1 (Eq. (5)).
+        """
+        if not 0.0 <= ambient <= 1.0:
+            raise ValueError("ambient must lie in [0, 1]")
+        needed = max(target_lux - ambient * self.ambient_full_lux, 0.0)
+        return self.luminaire.dimming_for_lux(needed, self.radial_offset_m)

@@ -1,0 +1,94 @@
+"""Day/night mode switching: SmartVLC by day, DarkLight by night.
+
+Section 7 of the paper: "When illumination is required, SmartVLC can be
+applied and when illumination is not required (e.g., at night),
+DarkLight can then be applied instead."  The :class:`DayNightManager`
+implements that hand-over: while the lighting controller demands an LED
+level inside AMPPM's operating range, AMPPM carries the data; when the
+required level falls below the perceptibility floor (lights off), the
+link drops into DarkLight's imperceptible single-pulse mode instead of
+going silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..baselines.base import SchemeDesign
+from ..baselines.darklight import DarkLight
+from ..core.params import SystemConfig
+from ..schemes import AmppmScheme
+
+
+class LinkMode(Enum):
+    """Which modulation currently carries the data."""
+
+    SMARTVLC = "smartvlc"
+    DARKLIGHT = "darklight"
+
+
+@dataclass(frozen=True)
+class ModeDecision:
+    """Outcome of one mode-selection step."""
+
+    mode: LinkMode
+    design: SchemeDesign
+    required_dimming: float
+
+    @property
+    def data_rate_factor(self) -> float:
+        """Bits per slot of the chosen design (ideal channel)."""
+        return self.design.normalized_rate()
+
+
+@dataclass
+class DayNightManager:
+    """Chooses and configures the modulation for a required LED level.
+
+    Attributes:
+        config: System parameters.
+        night_threshold: Below this required dimming level the room is
+            considered "lights off" and DarkLight takes over.  The
+            default is AMPPM's own lower supported bound: SmartVLC
+            serves everything it can, DarkLight covers the rest.
+        darklight_n: Symbol length for night mode (darkness 1/N).
+    """
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+    night_threshold: float | None = None
+    darklight_n: int = 512
+
+    def __post_init__(self) -> None:
+        self._smartvlc = AmppmScheme(self.config)
+        self._darklight = DarkLight(self.config, n_slots=self.darklight_n)
+        if self.night_threshold is None:
+            self.night_threshold = self._smartvlc.supported_range[0]
+        if not 0.0 < self.night_threshold < 1.0:
+            raise ValueError("night_threshold must lie in (0, 1)")
+        self._switches = 0
+        self._last_mode: LinkMode | None = None
+
+    @property
+    def mode_switches(self) -> int:
+        """Number of SmartVLC <-> DarkLight hand-overs so far."""
+        return self._switches
+
+    def select(self, required_dimming: float) -> ModeDecision:
+        """Pick the mode and design for a required LED level.
+
+        ``required_dimming`` may be 0 (lights fully off): DarkLight
+        still carries data at its imperceptible duty cycle.
+        """
+        if not 0.0 <= required_dimming <= 1.0:
+            raise ValueError("required_dimming must lie in [0, 1]")
+        if required_dimming < self.night_threshold:
+            mode = LinkMode.DARKLIGHT
+            design: SchemeDesign = self._darklight.darkest_design()
+        else:
+            mode = LinkMode.SMARTVLC
+            design = self._smartvlc.design_clamped(required_dimming)
+        if self._last_mode is not None and mode is not self._last_mode:
+            self._switches += 1
+        self._last_mode = mode
+        return ModeDecision(mode, design, required_dimming)

@@ -1,0 +1,146 @@
+"""The flicker-perception user study (Section 6.3, Table 2).
+
+The paper recruits 20 volunteers (10 male, 10 female, 19-41 years old)
+and asks, for a grid of dimming-step resolutions, whether they perceive
+flickering — under two viewing manners (staring at the LED vs. judging
+by its reflection) and three ambient conditions:
+
+* **L1** — sunny day, ceiling lights on (8900-9760 lux)
+* **L2** — sunny day, ceiling lights off (7960-8200 lux)
+* **L3** — blind down, lights off (12-21 lux)
+
+We model each volunteer as a perception threshold per (manner,
+condition): a step below the threshold is invisible to them.  The
+population thresholds are Gaussian, calibrated so the census of a
+seeded 20-volunteer sample reproduces Table 2's structure: direct
+viewing is roughly ten times more sensitive than indirect, and darker
+ambient conditions lower the threshold (dark-adapted pupils).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class Viewing(Enum):
+    """How the volunteer observes the LED."""
+
+    DIRECT = "direct"
+    INDIRECT = "indirect"
+
+
+class AmbientCondition(Enum):
+    """The three test conditions, with their lux bands."""
+
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+
+    @property
+    def lux_band(self) -> tuple[float, float]:
+        return {"L1": (8900.0, 9760.0),
+                "L2": (7960.0, 8200.0),
+                "L3": (12.0, 21.0)}[self.value]
+
+
+@dataclass(frozen=True)
+class ThresholdDistribution:
+    """Gaussian threshold population, clipped to a plausible band."""
+
+    mean: float
+    std: float
+    lo: float
+    hi: float
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        draws = rng.normal(self.mean, self.std, size=n)
+        return np.clip(draws, self.lo, self.hi)
+
+    def fraction_perceiving(self, resolution: float) -> float:
+        """Population fraction that would notice a step of ``resolution``.
+
+        A volunteer perceives the step when their threshold is at or
+        below it; with clipped Gaussians the clip bounds make the 0%
+        and 100% rows of Table 2 exact.
+        """
+        if resolution < self.lo:
+            return 0.0
+        if resolution >= self.hi:
+            return 1.0
+        z = (resolution - self.mean) / self.std
+        from math import erf, sqrt
+        return 0.5 * (1.0 + erf(z / sqrt(2.0)))
+
+
+#: Calibrated to Table 2 (see DESIGN.md §3 and tests/lighting).
+THRESHOLDS: dict[tuple[Viewing, AmbientCondition], ThresholdDistribution] = {
+    (Viewing.DIRECT, AmbientCondition.L1):
+        ThresholdDistribution(6.18e-3, 7.2e-4, 4.1e-3, 6.9e-3),
+    (Viewing.DIRECT, AmbientCondition.L2):
+        ThresholdDistribution(5.44e-3, 8.4e-4, 4.1e-3, 6.9e-3),
+    (Viewing.DIRECT, AmbientCondition.L3):
+        ThresholdDistribution(5.00e-3, 9.7e-4, 3.1e-3, 5.9e-3),
+    (Viewing.INDIRECT, AmbientCondition.L1):
+        ThresholdDistribution(6.35e-2, 6.6e-3, 5.1e-2, 6.9e-2),
+    (Viewing.INDIRECT, AmbientCondition.L2):
+        ThresholdDistribution(6.00e-2, 9.7e-3, 4.1e-2, 6.9e-2),
+    (Viewing.INDIRECT, AmbientCondition.L3):
+        ThresholdDistribution(5.40e-2, 4.7e-3, 4.1e-2, 6.9e-2),
+}
+
+#: The resolutions each Table 2 half sweeps.
+DIRECT_RESOLUTIONS = (0.003, 0.004, 0.005, 0.006, 0.007)
+INDIRECT_RESOLUTIONS = (0.04, 0.05, 0.06, 0.07, 0.08)
+
+
+@dataclass
+class VolunteerPopulation:
+    """A seeded panel of volunteers with per-condition thresholds."""
+
+    n_volunteers: int = 20
+    seed: int = 802157  # IEEE 802.15.7, in spirit
+    thresholds: dict[tuple[Viewing, AmbientCondition], np.ndarray] = field(
+        init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_volunteers < 1:
+            raise ValueError("need at least one volunteer")
+        rng = np.random.default_rng(self.seed)
+        self.thresholds = {
+            key: dist.sample(rng, self.n_volunteers)
+            for key, dist in THRESHOLDS.items()
+        }
+
+    def percent_perceiving(self, resolution: float, viewing: Viewing,
+                           condition: AmbientCondition) -> float:
+        """Percentage of the panel that notices steps of ``resolution``."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        thresholds = self.thresholds[(viewing, condition)]
+        return 100.0 * float(np.mean(thresholds <= resolution))
+
+    def census(self, viewing: Viewing,
+               resolutions: tuple[float, ...] | None = None
+               ) -> dict[float, dict[AmbientCondition, float]]:
+        """One half of Table 2: resolution → condition → % perceiving."""
+        if resolutions is None:
+            resolutions = (DIRECT_RESOLUTIONS if viewing is Viewing.DIRECT
+                           else INDIRECT_RESOLUTIONS)
+        return {
+            res: {
+                condition: self.percent_perceiving(res, viewing, condition)
+                for condition in AmbientCondition
+            }
+            for res in resolutions
+        }
+
+    def safe_resolution(self, viewing: Viewing) -> float:
+        """Largest step no volunteer notices in any ambient condition.
+
+        For direct viewing this is the paper's tau_p = 0.003 result.
+        """
+        return float(min(t.min() for (v, _), t in self.thresholds.items()
+                         if v is viewing))

@@ -1,0 +1,33 @@
+"""Byte/bit stream conversions used by the frame codec.
+
+Bits are most-significant-bit-first throughout, matching the symbol
+codecs in :mod:`repro.core.coding`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bytes_to_bits(data: bytes) -> list[int]:
+    """Expand bytes into a MSB-first bit list."""
+    bits: list[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack a MSB-first bit list into bytes; length must be a multiple of 8."""
+    if len(bits) % 8:
+        raise ValueError(f"bit count {len(bits)} is not a multiple of 8")
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[start:start + 8]:
+            if bit not in (0, 1):
+                raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)

@@ -1,0 +1,49 @@
+"""CRC-16 for the frame check sequence (Table 1, the trailing 2 bytes).
+
+CRC-16-CCITT (polynomial 0x1021, init 0xFFFF, no reflection) — the
+variant ubiquitous in embedded link layers of this class.  Implemented
+with a precomputed 256-entry table; the table is module-level because
+every frame shares it.
+"""
+
+from __future__ import annotations
+
+_POLYNOMIAL = 0x1021
+_INITIAL = 0xFFFF
+
+
+def _build_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _POLYNOMIAL) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+
+def crc16(data: bytes, initial: int = _INITIAL) -> int:
+    """CRC-16-CCITT of ``data``."""
+    crc = initial & 0xFFFF
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def append_crc(data: bytes) -> bytes:
+    """Return ``data`` with its big-endian CRC-16 appended."""
+    return data + crc16(data).to_bytes(2, "big")
+
+
+def check_crc(data_with_crc: bytes) -> bool:
+    """True when the trailing two bytes are the CRC of the rest."""
+    if len(data_with_crc) < 2:
+        return False
+    payload, trailer = data_with_crc[:-2], data_with_crc[-2:]
+    return crc16(payload) == int.from_bytes(trailer, "big")

@@ -1,0 +1,171 @@
+"""Stop-and-wait MAC with Wi-Fi acknowledgements.
+
+The prototype's MAC: the transmitter sends one frame, the receiver
+CRC-checks it and — like the paper's setup — sends an ACK over Wi-Fi;
+a missing ACK triggers a retransmission after a timeout.  Frames that
+fail CRC are dropped silently at the receiver (Section 6.1).
+
+Two evaluation paths are provided:
+
+* :meth:`StopAndWaitMac.run` — a stochastic slot-accurate session
+  against a :class:`~repro.core.errormodel.SlotErrorModel`, flipping
+  individual slots and running the real receiver.
+* :meth:`StopAndWaitMac.expected_throughput` — the closed-form
+  expectation used by the figure harnesses (identical model, no RNG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import SchemeDesign
+from ..core.errormodel import SlotErrorModel
+from ..core.params import SystemConfig
+from .frame import FrameError
+from .receiver import Receiver
+from .transmitter import Transmitter
+from .wifi import WifiUplink
+
+
+@dataclass
+class MacStats:
+    """Counters accumulated over a MAC session."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    retransmissions: int = 0
+    payload_bits_acked: int = 0
+    airtime_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    @property
+    def throughput_bps(self) -> float:
+        """Acked payload bits per second of elapsed time."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.payload_bits_acked / self.elapsed_s
+
+    @property
+    def frame_loss_rate(self) -> float:
+        """Fraction of transmissions that were not acknowledged."""
+        if self.frames_sent == 0:
+            return 0.0
+        return 1.0 - self.frames_delivered / self.frames_sent
+
+
+def header_success_probability(errors: SlotErrorModel) -> float:
+    """Probability the preamble + OOK header decode cleanly.
+
+    Preamble slots alternate ON/OFF; header bits are equiprobable.
+    """
+    from .frame import HEADER_SLOTS, PREAMBLE_SLOTS
+
+    p_on_ok = 1.0 - errors.p_on_error
+    p_off_ok = 1.0 - errors.p_off_error
+    n_pre_on = sum(1 for s in PREAMBLE_SLOTS if s)
+    n_pre_off = len(PREAMBLE_SLOTS) - n_pre_on
+    p_pre = p_on_ok ** n_pre_on * p_off_ok ** n_pre_off
+    p_hdr_slot = 1.0 - 0.5 * (errors.p_on_error + errors.p_off_error)
+    return p_pre * p_hdr_slot ** HEADER_SLOTS
+
+
+def corrupt_slots(slots: list[bool], errors: SlotErrorModel,
+                  rng: np.random.Generator) -> list[bool]:
+    """Flip each slot independently with its error probability."""
+    if errors.p_off_error == 0.0 and errors.p_on_error == 0.0:
+        return list(slots)
+    draws = rng.random(len(slots))
+    out = []
+    for slot, draw in zip(slots, draws):
+        p = errors.p_on_error if slot else errors.p_off_error
+        out.append(not slot if draw < p else slot)
+    return out
+
+
+@dataclass
+class StopAndWaitMac:
+    """One transmitter, one receiver, one outstanding frame."""
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+    uplink: WifiUplink = field(default_factory=WifiUplink)
+    ack_timeout_s: float = 10.0e-3
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_s <= 0:
+            raise ValueError("ack_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._tx = Transmitter(self.config)
+        self._rx = Receiver(self.config)
+
+    def run(self, payloads: list[bytes], design: SchemeDesign,
+            errors: SlotErrorModel, rng: np.random.Generator,
+            corruptor=None) -> MacStats:
+        """Deliver a list of payloads over the noisy link.
+
+        ``corruptor`` overrides the default i.i.d. slot flipping — pass
+        e.g. ``lambda s, r: burst_channel.corrupt(s, r)[0]`` to run the
+        MAC over a Gilbert-Elliott shadowing process.
+        """
+        if corruptor is None:
+            def corruptor(slots, generator):
+                return corrupt_slots(slots, errors, generator)
+        stats = MacStats()
+        now = 0.0
+        for payload in payloads:
+            slots = self._tx.encode_frame(payload, design)
+            airtime = len(slots) * self.config.t_slot
+            delivered = False
+            for _attempt in range(self.max_retries + 1):
+                stats.frames_sent += 1
+                stats.airtime_s += airtime
+                now += airtime
+                received = corruptor(list(slots), rng)
+                ack_at = None
+                try:
+                    frame = self._rx.decode_frame(received)
+                    if frame.payload == payload:
+                        ack_at = self.uplink.deliver(now, rng)
+                except FrameError:
+                    ack_at = None  # receiver stays silent on CRC failure
+                if ack_at is not None:
+                    now = max(now, ack_at)
+                    delivered = True
+                    stats.frames_delivered += 1
+                    stats.payload_bits_acked += 8 * len(payload)
+                    break
+                now += self.ack_timeout_s
+                stats.retransmissions += 1
+            if not delivered:
+                # Give up on this payload (upper layers would resubmit).
+                continue
+        stats.elapsed_s = now
+        return stats
+
+    def expected_throughput(self, design: SchemeDesign,
+                            errors: SlotErrorModel,
+                            payload_bytes: int | None = None) -> float:
+        """Closed-form goodput of the stop-and-wait loop in bit/s.
+
+        throughput = payload_bits · P_ok / E[time per attempt cycle],
+        with E[cycle] = T_frame + P_ok·T_ack + (1-P_ok)·T_timeout.
+        """
+        n_payload = (payload_bytes if payload_bytes is not None
+                     else self.config.payload_bytes)
+        n_bits = 8 * (n_payload + 2)
+        # Expected airtime for equiprobable payload bits (the paper's
+        # Section 6.1 assumption), not any particular payload's.
+        frame_slots = (self._tx.frame_overhead_slots(design, n_payload)
+                       + design.payload_slots(n_bits))
+        t_frame = frame_slots * self.config.t_slot
+        p_payload = design.success_probability(n_bits, errors)
+        p_ok = (p_payload * header_success_probability(errors)
+                * (1.0 - self.uplink.loss_probability))
+
+        t_cycle = (t_frame + p_ok * self.uplink.expected_latency_s
+                   + (1.0 - p_ok) * self.ack_timeout_s)
+        return 8 * n_payload * p_ok / t_cycle
+

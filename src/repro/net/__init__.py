@@ -1,0 +1,19 @@
+"""Multi-receiver deployments: feedback plane and room simulation."""
+
+from .feedback import Aggregation, AmbientReport, FeedbackCollector
+from .room import (
+    NodeSample,
+    ReceiverPlacement,
+    RoomSample,
+    RoomSimulation,
+)
+
+__all__ = [
+    "Aggregation",
+    "AmbientReport",
+    "FeedbackCollector",
+    "NodeSample",
+    "ReceiverPlacement",
+    "RoomSample",
+    "RoomSimulation",
+]

@@ -1,0 +1,107 @@
+"""The receiver → transmitter feedback plane.
+
+In the prototype, every receiver senses the ambient light at its own
+position and reports it — together with ACKs — over the ESP8266 Wi-Fi
+uplink (Section 5.1).  The transmitter therefore works with *delayed,
+possibly missing* observations.  This module models that plane: reports
+ride a :class:`~repro.link.wifi.WifiUplink`, arrive out of order, and a
+collector keeps the freshest delivered value per node with an
+aggregation policy and a staleness cut-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+import numpy as np
+
+from ..link.wifi import WifiUplink
+
+
+@dataclass(frozen=True)
+class AmbientReport:
+    """One receiver's sensed ambient level, stamped at sensing time."""
+
+    node: str
+    value: float
+    sensed_at: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError("ambient value must lie in [0, 1]")
+
+
+class Aggregation(Enum):
+    """How the transmitter fuses multi-receiver ambient reports."""
+
+    MEAN = "mean"
+    MIN = "min"      # darkest spot rules: nobody is under-lit
+    MAX = "max"
+    LATEST = "latest"
+
+
+@dataclass
+class FeedbackCollector:
+    """Delivers reports over Wi-Fi and serves the fused ambient value.
+
+    ``staleness_s`` bounds how old a delivered report may be before it
+    is ignored — a receiver that went quiet must not pin the controller
+    to an outdated daylight level.
+    """
+
+    uplink: WifiUplink = field(default_factory=WifiUplink)
+    aggregation: Aggregation = Aggregation.MEAN
+    staleness_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.staleness_s <= 0:
+            raise ValueError("staleness_s must be positive")
+        # Per node: (arrival_time, report); in-flight as (arrival, report).
+        self._delivered: dict[str, tuple[float, AmbientReport]] = {}
+        self._in_flight: list[tuple[float, AmbientReport]] = []
+
+    def submit(self, report: AmbientReport,
+               rng: np.random.Generator) -> None:
+        """A receiver sends a report; it may be lost or delayed."""
+        arrival = self.uplink.deliver(report.sensed_at, rng)
+        if arrival is not None:
+            self._in_flight.append((arrival, report))
+
+    def _drain(self, now: float) -> None:
+        still_flying = []
+        for arrival, report in self._in_flight:
+            if arrival <= now:
+                current = self._delivered.get(report.node)
+                # Keep the freshest *sensing* time, not arrival order.
+                if current is None or report.sensed_at > current[1].sensed_at:
+                    self._delivered[report.node] = (arrival, report)
+            else:
+                still_flying.append((arrival, report))
+        self._in_flight = still_flying
+
+    def fresh_reports(self, now: float) -> list[AmbientReport]:
+        """Delivered, non-stale reports as of ``now``."""
+        self._drain(now)
+        return [report for _, report in self._delivered.values()
+                if now - report.sensed_at <= self.staleness_s]
+
+    def ambient_estimate(self, now: float,
+                         fallback: float | None = None) -> float | None:
+        """The fused ambient level, or ``fallback`` when nothing is fresh."""
+        reports = self.fresh_reports(now)
+        if not reports:
+            return fallback
+        values = [r.value for r in reports]
+        if self.aggregation is Aggregation.MEAN:
+            return float(np.mean(values))
+        if self.aggregation is Aggregation.MIN:
+            return min(values)
+        if self.aggregation is Aggregation.MAX:
+            return max(values)
+        return max(reports, key=lambda r: r.sensed_at).value
+
+    def known_nodes(self) -> Iterable[str]:
+        """Nodes that have ever delivered a report."""
+        return self._delivered.keys()

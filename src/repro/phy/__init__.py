@@ -1,0 +1,33 @@
+"""Physical substrate: optics, LED, photodiode, ADC and the link budget."""
+
+from .adc import AdcModel
+from .burst import GilbertElliottChannel
+from .channel import (
+    REFERENCE_AMBIENT,
+    REFERENCE_DISTANCE_M,
+    VlcChannel,
+    calibrated_channel,
+    q_function,
+    q_inverse,
+)
+from .led import LedModel
+from .optics import LinkGeometry, OpticalFrontEnd
+from .photodiode import PhotodiodeModel
+from .waveform import SlotSampler, WaveformSynthesizer
+
+__all__ = [
+    "AdcModel",
+    "GilbertElliottChannel",
+    "LedModel",
+    "LinkGeometry",
+    "OpticalFrontEnd",
+    "PhotodiodeModel",
+    "REFERENCE_AMBIENT",
+    "REFERENCE_DISTANCE_M",
+    "SlotSampler",
+    "VlcChannel",
+    "WaveformSynthesizer",
+    "calibrated_channel",
+    "q_function",
+    "q_inverse",
+]

@@ -1,0 +1,61 @@
+"""ADC front-end: sampling and quantisation (TI ADS7883 stand-in).
+
+The paper samples the amplified photocurrent at 500 kHz (4x the slot
+rate) through a 12-bit SPI ADC driven by a BeagleBone PRU.  Only the
+properties that shape decoding are modelled: full-scale clipping,
+uniform quantisation, and the sample rate bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AdcModel:
+    """Uniform quantiser with saturation.
+
+    Attributes:
+        bits: Resolution (ADS7883: 12).
+        full_scale: Input value mapped to the top code; inputs are
+            clipped into [0, full_scale].
+        sample_rate_hz: Nominal sampling rate (bookkeeping only; the
+            waveform synthesiser decides the actual sample spacing).
+    """
+
+    bits: int = 12
+    full_scale: float = 1.0e-5
+    sample_rate_hz: float = 500e3
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be at least 1")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes, 2**bits."""
+        return 1 << self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Input step per code."""
+        return self.full_scale / (self.levels - 1)
+
+    def quantize(self, signal: np.ndarray) -> np.ndarray:
+        """Convert an analog waveform to integer codes."""
+        clipped = np.clip(np.asarray(signal, dtype=float), 0.0, self.full_scale)
+        return np.round(clipped / self.lsb).astype(np.int64)
+
+    def to_analog(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct the analog value each code represents."""
+        return np.asarray(codes, dtype=float) * self.lsb
+
+    def convert(self, signal: np.ndarray) -> np.ndarray:
+        """Quantise and reconstruct: the waveform the software sees."""
+        return self.to_analog(self.quantize(signal))

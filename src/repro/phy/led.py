@@ -1,0 +1,73 @@
+"""LED dynamics: the slow edges that bound the slot time.
+
+The paper's Philips luminaire (AC-DC converter removed) still switches
+slowly enough that t_slot below 8 us distorts the signal.  A first-order
+low-pass — the RC behaviour of the driver plus junction capacitance —
+reproduces that mechanism: an ON command ramps the light exponentially
+with time constant tau, so short slots never reach full amplitude and
+leak into their neighbours (inter-slot interference).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LedModel:
+    """First-order optical response of the LED + driver chain.
+
+    Attributes:
+        rise_tau_s: Time constant of the ON transition.
+        fall_tau_s: Time constant of the OFF transition (MOSFET pull-down
+            is usually a little faster than the drive-up).
+    """
+
+    rise_tau_s: float = 2.0e-6
+    fall_tau_s: float = 1.6e-6
+
+    def __post_init__(self) -> None:
+        if self.rise_tau_s <= 0 or self.fall_tau_s <= 0:
+            raise ValueError("time constants must be positive")
+
+    def min_slot_time(self, settle_fraction: float = 0.98) -> float:
+        """Shortest slot that settles to ``settle_fraction`` of full swing.
+
+        With the defaults this is ≈ 7.8 us — the reason the paper fixes
+        t_slot at 8 us.
+        """
+        if not 0.0 < settle_fraction < 1.0:
+            raise ValueError("settle_fraction must lie in (0, 1)")
+        tau = max(self.rise_tau_s, self.fall_tau_s)
+        return -tau * math.log(1.0 - settle_fraction)
+
+    def apply(self, drive: np.ndarray, sample_rate: float,
+              initial: float = 0.0) -> np.ndarray:
+        """Filter a 0/1 drive waveform into the emitted light waveform.
+
+        ``drive`` is the ideal commanded waveform (one entry per sample);
+        the output is the normalized optical intensity after the
+        asymmetric first-order response.
+        """
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        drive = np.asarray(drive, dtype=float)
+        dt = 1.0 / sample_rate
+        alpha_rise = 1.0 - math.exp(-dt / self.rise_tau_s)
+        alpha_fall = 1.0 - math.exp(-dt / self.fall_tau_s)
+        out = np.empty_like(drive)
+        state = float(initial)
+        for i, target in enumerate(drive):
+            alpha = alpha_rise if target > state else alpha_fall
+            state += alpha * (target - state)
+            out[i] = state
+        return out
+
+    def settled_amplitude(self, slot_time: float) -> float:
+        """Fraction of full swing reached within one isolated ON slot."""
+        if slot_time <= 0:
+            raise ValueError("slot_time must be positive")
+        return 1.0 - math.exp(-slot_time / self.rise_tau_s)

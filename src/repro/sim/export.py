@@ -1,0 +1,84 @@
+"""Export experiment results to CSV / JSON for external plotting.
+
+The text renderings in :mod:`repro.sim.results` are for terminals; real
+papers get plotted.  These writers flatten a :class:`FigureResult` into
+long-form CSV (one row per point, a column tagging the series) or JSON,
+and a :class:`TableResult` into plain CSV — formats every plotting tool
+ingests directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .results import FigureResult, TableResult
+
+
+def figure_to_rows(figure: FigureResult) -> list[dict[str, object]]:
+    """Long-form records: one dict per (series, x, y) point."""
+    rows: list[dict[str, object]] = []
+    for series in figure.series:
+        for x, y in zip(series.x, series.y):
+            rows.append({"figure": figure.figure_id, "series": series.name,
+                         "x": x, "y": y})
+    return rows
+
+
+def write_figure_csv(figure: FigureResult, path: str | Path) -> Path:
+    """Write a figure as long-form CSV; returns the written path."""
+    path = Path(path)
+    rows = figure_to_rows(figure)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle,
+                                fieldnames=["figure", "series", "x", "y"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_table_csv(table: TableResult, path: str | Path) -> Path:
+    """Write a table result as CSV; returns the written path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.header)
+        writer.writerows(table.rows)
+    return path
+
+
+def result_to_json(result: FigureResult | TableResult) -> str:
+    """Serialise either result kind to a self-describing JSON document."""
+    if isinstance(result, FigureResult):
+        payload: dict[str, object] = {
+            "kind": "figure",
+            "id": result.figure_id,
+            "title": result.title,
+            "x_label": result.x_label,
+            "y_label": result.y_label,
+            "notes": result.notes,
+            "series": [
+                {"name": s.name, "x": list(s.x), "y": list(s.y)}
+                for s in result.series
+            ],
+        }
+    elif isinstance(result, TableResult):
+        payload = {
+            "kind": "table",
+            "id": result.table_id,
+            "title": result.title,
+            "notes": result.notes,
+            "header": list(result.header),
+            "rows": [list(row) for row in result.rows],
+        }
+    else:
+        raise TypeError(f"cannot serialise {type(result).__name__}")
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_json(result: FigureResult | TableResult, path: str | Path) -> Path:
+    """Write either result kind as JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(result_to_json(result) + "\n")
+    return path

@@ -1,0 +1,130 @@
+"""Monte-Carlo validation of the analytic error models.
+
+The figure harnesses lean on closed forms — Eq. (3) for symbol errors
+and the frame-success product for goodput.  This module replays the
+same quantities stochastically through the *real* codec and receiver,
+so the analytic layer is continuously validated against the executable
+one:
+
+* :meth:`MonteCarloValidator.symbol_error_rate` — flip slots with the
+  channel probabilities, decode with Algorithm 2, count mismatches.
+  Must converge to Eq. (3).
+* :meth:`MonteCarloValidator.undetected_error_rate` — of those symbol
+  errors, how many alias to a *valid but wrong* value (compensating
+  flips that preserve the ON count)?  This is the residual the frame
+  CRC exists to catch.
+* :meth:`MonteCarloValidator.frame_loss_rate` — whole frames through
+  the real receiver vs the analytic frame-success probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import SchemeDesign
+from ..core.coding import CodewordWeightError, decode_symbol, encode_symbol
+from ..core.combinatorics import symbol_capacity
+from ..core.errormodel import SlotErrorModel
+from ..core.params import SystemConfig
+from ..core.symbols import SymbolPattern
+from ..link.frame import FrameError
+from ..link.mac import corrupt_slots
+from ..link.receiver import Receiver
+from ..link.transmitter import Transmitter
+
+
+@dataclass(frozen=True)
+class SymbolErrorEstimate:
+    """Outcome of a symbol-level Monte-Carlo run."""
+
+    n_symbols: int
+    n_errors: int
+    n_undetected: int
+    analytic_ser: float
+
+    @property
+    def measured_ser(self) -> float:
+        """Fraction of symbols that decoded wrongly (any cause)."""
+        if self.n_symbols == 0:
+            return 0.0
+        return self.n_errors / self.n_symbols
+
+    @property
+    def undetected_fraction(self) -> float:
+        """Fraction of symbols that aliased silently (CRC territory)."""
+        if self.n_symbols == 0:
+            return 0.0
+        return self.n_undetected / self.n_symbols
+
+    def consistent_with_analytic(self, sigmas: float = 4.0) -> bool:
+        """Binomial consistency test against Eq. (3)."""
+        p = self.analytic_ser
+        std = (p * (1.0 - p) / max(self.n_symbols, 1)) ** 0.5
+        return abs(self.measured_ser - p) <= sigmas * std + 1e-12
+
+
+@dataclass
+class MonteCarloValidator:
+    """Stochastic replays of the analytic link-model quantities."""
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+
+    def symbol_error_rate(self, pattern: SymbolPattern,
+                          errors: SlotErrorModel,
+                          rng: np.random.Generator,
+                          n_symbols: int = 5000) -> SymbolErrorEstimate:
+        """Empirical SER of a pattern through the real codec."""
+        if n_symbols < 1:
+            raise ValueError("n_symbols must be positive")
+        n, k = pattern.n_slots, pattern.n_on
+        capacity = symbol_capacity(n, k)
+        values = rng.integers(0, capacity, size=n_symbols)
+        n_errors = 0
+        n_undetected = 0
+        for value in values:
+            slots = list(encode_symbol(int(value), n, k))
+            received = corrupt_slots(slots, errors, rng)
+            try:
+                decoded = decode_symbol(received, k)
+            except CodewordWeightError:
+                n_errors += 1
+                continue
+            if decoded != value:
+                n_errors += 1
+                n_undetected += 1
+        return SymbolErrorEstimate(
+            n_symbols=n_symbols,
+            n_errors=n_errors,
+            n_undetected=n_undetected,
+            analytic_ser=pattern.symbol_error_rate(errors),
+        )
+
+    def frame_loss_rate(self, design: SchemeDesign, errors: SlotErrorModel,
+                        rng: np.random.Generator, n_frames: int = 200,
+                        payload: bytes | None = None) -> tuple[float, float]:
+        """(measured, analytic) frame loss through the real receiver."""
+        from .linkmodel import frame_success_probability
+
+        if n_frames < 1:
+            raise ValueError("n_frames must be positive")
+        payload = payload if payload is not None else bytes(
+            range(self.config.payload_bytes % 256)) * (
+                self.config.payload_bytes // 256 + 1)
+        payload = payload[:self.config.payload_bytes]
+        tx = Transmitter(self.config)
+        rx = Receiver(self.config)
+        slots = tx.encode_frame(payload, design)
+        losses = 0
+        for _ in range(n_frames):
+            received = corrupt_slots(slots, errors, rng)
+            try:
+                frame = rx.decode_frame(received)
+                if frame.payload != payload:
+                    losses += 1
+            except FrameError:
+                losses += 1
+        analytic = 1.0 - frame_success_probability(
+            design, errors, self.config, len(payload))
+        return losses / n_frames, analytic

@@ -1,0 +1,162 @@
+"""Result containers shared by all experiment harnesses.
+
+Every harness returns a :class:`Series` (figure) or :class:`Table`
+(table) so benchmarks, tests and the EXPERIMENTS.md generator consume
+one shape.  Rendering is plain text: aligned columns and an ASCII
+sparkline-style plot good enough to eyeball curve shapes in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: y over x."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have the same length")
+        if not self.x:
+            raise ValueError("a series needs at least one point")
+
+    def value_at(self, x: float, tol: float = 1e-9) -> float:
+        """The y value at an exact x (no interpolation)."""
+        for xi, yi in zip(self.x, self.y):
+            if abs(xi - x) <= tol:
+                return yi
+        raise KeyError(f"x={x} not in series {self.name!r}")
+
+    @property
+    def y_max(self) -> float:
+        return max(self.y)
+
+    @property
+    def y_min(self) -> float:
+        return min(self.y)
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A reproduced figure: several series over a common x-axis meaning."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: str = ""
+
+    def get(self, name: str) -> Series:
+        """Series by name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series {name!r} in {self.figure_id}")
+
+    def render(self, width: int = 72, height: int = 16) -> str:
+        """Plain-text rendering: an ASCII plot plus a value table."""
+        lines = [f"{self.figure_id}: {self.title}",
+                 f"  y: {self.y_label}   x: {self.x_label}"]
+        lines.append(ascii_plot(self.series, width=width, height=height))
+        header = ["x"] + [s.name for s in self.series]
+        rows = []
+        xs = sorted({x for s in self.series for x in s.x})
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                try:
+                    row.append(f"{s.value_at(x):.4g}")
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        lines.append(format_table(header, rows))
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A reproduced table: header plus string rows."""
+
+    table_id: str
+    title: str
+    header: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+    notes: str = ""
+
+    def render(self) -> str:
+        text = [f"{self.table_id}: {self.title}",
+                format_table(list(self.header), [list(r) for r in self.rows])]
+        if self.notes:
+            text.append(f"  note: {self.notes}")
+        return "\n".join(text)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align columns of a small text table."""
+    columns = [list(col) for col in zip(header, *rows)] if rows else [[h] for h in header]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt(row: Sequence[str]) -> str:
+        return "  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(series: Sequence[Series], width: int = 72, height: int = 16) -> str:
+    """A crude multi-series scatter plot in ASCII."""
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"  {y_hi:10.4g} +{''.join(grid[0])}"]
+    lines.extend(f"  {'':10} |{''.join(row)}" for row in grid[1:-1])
+    lines.append(f"  {y_lo:10.4g} +{''.join(grid[-1])}")
+    lines.append(f"  {'':10}  {str(f'{x_lo:g}').ljust(width // 2)}{f'{x_hi:g}'.rjust(width // 2)}")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {s.name}"
+                        for i, s in enumerate(series))
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentRegistry:
+    """Maps experiment ids to runner callables (populated lazily)."""
+
+    runners: dict = field(default_factory=dict)
+
+    def register(self, experiment_id: str, runner) -> None:
+        if experiment_id in self.runners:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        self.runners[experiment_id] = runner
+
+    def run(self, experiment_id: str, **kwargs):
+        if experiment_id not in self.runners:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: "
+                f"{sorted(self.runners)}"
+            )
+        return self.runners[experiment_id](**kwargs)
+
+    def ids(self) -> list[str]:
+        return sorted(self.runners)

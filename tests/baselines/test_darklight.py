@@ -1,0 +1,96 @@
+"""DarkLight: imperceptible single-pulse night mode."""
+
+import pytest
+
+from repro.baselines import DarkLight
+from repro.baselines.darklight import MAX_DARKLIGHT_N, DarkLightDesign
+from repro.core import SlotErrorModel
+
+
+class TestDarkness:
+    def test_duty_cycle_is_one_over_n(self, config):
+        design = DarkLightDesign(512, config)
+        assert design.achieved_dimming == pytest.approx(1 / 512)
+
+    def test_appears_dark(self, config):
+        # The default darkness is far below the direct-viewing
+        # perception threshold for a *step from zero* (0.003).
+        design = DarkLight(config).darkest_design()
+        assert design.achieved_dimming < 0.003
+
+    def test_encoded_stream_is_sparse(self, config):
+        design = DarkLightDesign(256, config)
+        bits = [(i * 3 + 1) % 2 for i in range(64)]
+        slots = design.encode_payload(bits)
+        assert sum(slots) / len(slots) == pytest.approx(1 / 256)
+
+
+class TestCapacity:
+    def test_bits_per_symbol(self, config):
+        assert DarkLightDesign(512, config).bits == 9
+        assert DarkLightDesign(500, config).bits == 8
+        assert DarkLightDesign(2, config).bits == 1
+
+    def test_low_rate_by_design(self, config):
+        # DarkLight trades throughput for darkness: ~2 kbps at N=512.
+        design = DarkLightDesign(512, config)
+        assert design.data_rate(config) == pytest.approx(
+            9 / 512 / config.t_slot)
+        assert design.data_rate(config) < 3e3
+
+
+class TestCodec:
+    def test_roundtrip(self, config):
+        design = DarkLightDesign(128, config)
+        bits = [(i * 5 + 2) % 2 for i in range(70)]
+        slots = design.encode_payload(bits)
+        assert design.decode_payload(slots, len(bits)) == bits
+
+    def test_corruption_detected(self, config):
+        design = DarkLightDesign(128, config)
+        slots = design.encode_payload([1, 0, 1, 1, 0, 1, 0])
+        slots[3] = not slots[3]
+        with pytest.raises(ValueError):
+            design.decode_payload(slots, 7)
+
+    def test_frame_roundtrip(self, config):
+        from repro.link import Receiver, Transmitter
+        design = DarkLight(config).darkest_design()
+        tx, rx = Transmitter(config), Receiver(config)
+        payload = b"goodnight"
+        slots = tx.encode_frame(payload, design)
+        frame = rx.decode_frame(slots)
+        assert frame.payload == payload
+
+    def test_descriptor_roundtrip(self, config):
+        from repro.link import PatternDescriptor
+        desc = PatternDescriptor.for_darklight(1234)
+        back = PatternDescriptor.from_int(desc.to_int())
+        assert back.darklight_n == 1234
+
+
+class TestScheme:
+    def test_design_picks_nearest_n(self, config):
+        scheme = DarkLight(config)
+        assert scheme.design(0.01).n_slots == 100
+        assert scheme.design(0.5).n_slots == 2
+
+    def test_design_clips_to_max(self, config):
+        assert DarkLight(config).design(1e-9).n_slots == MAX_DARKLIGHT_N
+
+    def test_rejects_bright_requests(self, config):
+        with pytest.raises(ValueError):
+            DarkLight(config).design(0.7)
+
+    def test_success_probability(self, config):
+        design = DarkLightDesign(512, config)
+        errors = SlotErrorModel(1e-5, 1e-5)
+        assert 0.0 < design.success_probability(72, errors) < 1.0
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            DarkLightDesign(1, config)
+        with pytest.raises(ValueError):
+            DarkLightDesign(MAX_DARKLIGHT_N + 1, config)
+        with pytest.raises(ValueError):
+            DarkLight(config, n_slots=1)

@@ -1,0 +1,93 @@
+"""Fixed-N MPPM: the compensation-free baseline (N = 20)."""
+
+import pytest
+
+from repro.baselines import Mppm
+from repro.core import SlotErrorModel
+
+
+class TestDimmingQuantisation:
+    def test_paper_default_n(self, config):
+        assert Mppm(config).n_slots == 20
+
+    def test_coarse_levels(self, config):
+        # The step-wise dimming function the paper criticises.
+        levels = Mppm(config).supported_levels
+        assert len(levels) == 19
+        assert levels[0] == pytest.approx(0.05)
+        assert levels[-1] == pytest.approx(0.95)
+
+    def test_snaps_to_nearest_k(self, config):
+        design = Mppm(config).design(0.52)
+        assert design.pattern.n_on == 10
+        assert design.quantisation_error == pytest.approx(0.02)
+
+    def test_never_degenerate(self, config):
+        scheme = Mppm(config)
+        assert scheme.design(0.001).pattern.n_on == 1
+        assert scheme.design(0.999).pattern.n_on == 19
+
+
+class TestRates:
+    def test_paper_rate_at_01(self, config):
+        # S(20, 2): 7 bits / 20 slots = 0.35 -> 43.75 kbps at 125 kHz.
+        design = Mppm(config).design(0.1)
+        assert design.data_rate(config) == pytest.approx(43750.0)
+
+    def test_beats_ookct_in_the_mid_range_not_everywhere(self, config):
+        from repro.baselines import OokCt
+        mppm, ook = Mppm(config), OokCt(config)
+        # Mid range: OOK-CT wins at 0.5; extremes: MPPM wins.
+        assert ook.design(0.5).normalized_rate() > \
+            mppm.design(0.5).normalized_rate()
+        assert mppm.design(0.1).normalized_rate() > \
+            ook.design(0.1).normalized_rate()
+
+    def test_error_model_discounts_rate(self, config, paper_errors):
+        design = Mppm(config).design(0.5)
+        assert design.normalized_rate(paper_errors) < design.normalized_rate()
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self, config):
+        design = Mppm(config).design(0.4)
+        bits = [(i * 3 + 1) % 2 for i in range(300)]
+        slots = design.encode_payload(bits)
+        assert len(slots) == design.payload_slots(len(bits))
+        assert design.decode_payload(slots, len(bits)) == bits
+
+    def test_slot_stream_has_constant_dimming(self, config):
+        design = Mppm(config).design(0.3)
+        bits = [(i * 5) % 2 for i in range(340)]
+        slots = design.encode_payload(bits)
+        # Every symbol has exactly K ONs: dimming is data-independent.
+        n = design.pattern.n_slots
+        for start in range(0, len(slots), n):
+            assert sum(slots[start:start + n]) == design.pattern.n_on
+
+    def test_corrupted_weight_raises(self, config):
+        design = Mppm(config).design(0.4)
+        slots = design.encode_payload([1, 0] * 20)
+        slots[0] = not slots[0]
+        with pytest.raises(ValueError):
+            design.decode_payload(slots, 40)
+
+    def test_misaligned_stream_rejected(self, config):
+        design = Mppm(config).design(0.4)
+        with pytest.raises(ValueError):
+            design.decode_payload([True] * 19, 8)
+
+
+class TestConstruction:
+    def test_custom_n(self, config):
+        scheme = Mppm(config, n_slots=10)
+        assert scheme.supported_range == (pytest.approx(0.1),
+                                          pytest.approx(0.9))
+
+    def test_rejects_tiny_n(self, config):
+        with pytest.raises(ValueError):
+            Mppm(config, n_slots=1)
+
+    def test_invalid_dimming_rejected(self, config):
+        with pytest.raises(ValueError):
+            Mppm(config).design(0.0)

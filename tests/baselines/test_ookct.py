@@ -1,0 +1,103 @@
+"""OOK-CT: compensation arithmetic and the 2l / 2(1-l) rate law."""
+
+import pytest
+
+from repro.baselines import OokCt
+from repro.core import SlotErrorModel
+
+
+class TestRateLaw:
+    def test_data_fraction_below_half(self, config):
+        assert OokCt(config).design(0.2).data_fraction == pytest.approx(0.4)
+
+    def test_data_fraction_above_half(self, config):
+        assert OokCt(config).design(0.8).data_fraction == pytest.approx(0.4)
+
+    def test_peak_at_half(self, config):
+        assert OokCt(config).design(0.5).data_fraction == pytest.approx(1.0)
+
+    def test_rate_symmetry(self, config):
+        scheme = OokCt(config)
+        for level in (0.1, 0.25, 0.4):
+            assert scheme.design(level).normalized_rate() == pytest.approx(
+                scheme.design(1.0 - level).normalized_rate())
+
+    def test_throughput_collapses_at_extremes(self, config):
+        # The paper's core criticism of compensation-based schemes.
+        scheme = OokCt(config)
+        assert scheme.design(0.1).normalized_rate() < \
+            0.25 * scheme.design(0.5).normalized_rate()
+
+
+class TestCompensation:
+    def test_polarity_below_target(self, config):
+        design = OokCt(config).design(0.8)
+        count, on = design.compensation_slots(100, 50)
+        assert on is True
+        assert count > 0
+
+    def test_polarity_above_target(self, config):
+        design = OokCt(config).design(0.2)
+        count, on = design.compensation_slots(100, 50)
+        assert on is False
+        assert count > 0
+
+    def test_achieves_target_within_one_slot(self, config):
+        design = OokCt(config).design(0.3)
+        for ones in (10, 33, 50, 77):
+            count, on = design.compensation_slots(100, ones)
+            total_on = ones + (count if on else 0)
+            achieved = total_on / (100 + count)
+            assert achieved == pytest.approx(0.3, abs=1.0 / (100 + count))
+
+    def test_no_compensation_when_exact(self, config):
+        design = OokCt(config).design(0.5)
+        count, _ = design.compensation_slots(100, 50)
+        assert count == 0
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self, config):
+        design = OokCt(config).design(0.35)
+        bits = [1, 0, 1, 1, 0, 0, 0, 1] * 16
+        slots = design.encode_payload(bits)
+        assert design.decode_payload(slots, len(bits)) == bits
+
+    def test_encoded_dimming_matches_target(self, config):
+        design = OokCt(config).design(0.25)
+        bits = [1, 0] * 64  # 50% duty data
+        slots = design.encode_payload(bits)
+        assert sum(slots) / len(slots) == pytest.approx(0.25, abs=0.01)
+
+    def test_rejects_bad_bits(self, config):
+        with pytest.raises(ValueError):
+            OokCt(config).design(0.5).encode_payload([0, 1, 2])
+
+    def test_decode_needs_enough_slots(self, config):
+        design = OokCt(config).design(0.5)
+        with pytest.raises(ValueError):
+            design.decode_payload([True] * 4, 8)
+
+
+class TestInterface:
+    def test_supports_nearly_everything(self, config):
+        lo, hi = OokCt(config).supported_range
+        assert lo < 0.01
+        assert hi > 0.99
+
+    def test_achieved_equals_target(self, config):
+        # OOK-CT's selling point: any dimming level, exactly.
+        for level in (0.13, 0.5, 0.871):
+            assert OokCt(config).design(level).achieved_dimming == level
+
+    def test_invalid_dimming_rejected(self, config):
+        with pytest.raises(ValueError):
+            OokCt(config).design(0.0)
+        with pytest.raises(ValueError):
+            OokCt(config).design(1.0)
+
+    def test_success_probability_decreases_with_size(self, config):
+        design = OokCt(config).design(0.5)
+        errors = SlotErrorModel(1e-3, 1e-3)
+        assert design.success_probability(100, errors) > \
+            design.success_probability(1000, errors)

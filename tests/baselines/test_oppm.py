@@ -1,0 +1,66 @@
+"""OPPM: contiguous-pulse overlapping position modulation."""
+
+import pytest
+
+from repro.baselines import Oppm, Vppm, Mppm
+
+
+class TestCapacity:
+    def test_bits_from_positions(self, config):
+        design = Oppm(config, n_slots=16).design(0.25)
+        # width 4 -> 13 start positions -> floor(log2 13) = 3 bits.
+        assert design.width == 4
+        assert design.positions == 13
+        assert design.bits == 3
+
+    def test_between_vppm_and_mppm(self, config):
+        for level in (0.25, 0.5):
+            v = Vppm(config, n_slots=16).design(level).normalized_rate()
+            o = Oppm(config, n_slots=16).design(level).normalized_rate()
+            m = Mppm(config, n_slots=16).design(level).normalized_rate()
+            assert v < o < m
+
+    def test_wide_pulse_kills_capacity(self, config):
+        design = Oppm(config, n_slots=16).design(15 / 16)
+        assert design.positions == 2
+        assert design.bits == 1
+
+
+class TestCodec:
+    def test_roundtrip(self, config):
+        design = Oppm(config).design(0.375)
+        bits = [(i * 3) % 2 for i in range(30)]
+        slots = design.encode_payload(bits)
+        assert len(slots) == design.payload_slots(len(bits))
+        assert design.decode_payload(slots, len(bits)) == bits
+
+    def test_pulse_is_contiguous(self, config):
+        design = Oppm(config).design(0.25)
+        slots = design.encode_payload([1, 0, 1])
+        n = design.n_slots
+        for start in range(0, len(slots), n):
+            symbol = slots[start:start + n]
+            ons = [i for i, s in enumerate(symbol) if s]
+            assert ons == list(range(ons[0], ons[0] + design.width))
+
+    def test_correlation_decision_tolerates_one_flip(self, config):
+        design = Oppm(config).design(0.375)
+        bits = [1, 0, 1]
+        slots = design.encode_payload(bits)
+        slots[2] = not slots[2]
+        assert design.decode_payload(slots, len(bits)) == bits
+
+    def test_misaligned_rejected(self, config):
+        design = Oppm(config).design(0.25)
+        with pytest.raises(ValueError):
+            design.decode_payload([True] * 15, 3)
+
+
+class TestValidation:
+    def test_invalid_dimming(self, config):
+        with pytest.raises(ValueError):
+            Oppm(config).design(0.0)
+
+    def test_rejects_tiny_n(self, config):
+        with pytest.raises(ValueError):
+            Oppm(config, n_slots=1)

@@ -1,0 +1,74 @@
+"""VPPM: one bit per symbol, pulse position + width dimming."""
+
+import pytest
+
+from repro.baselines import Vppm
+from repro.core import SlotErrorModel
+
+
+class TestDesign:
+    def test_flat_rate(self, config):
+        scheme = Vppm(config)
+        # VPPM always carries 1 bit per N slots, whatever the dimming.
+        assert scheme.design(0.2).normalized_rate() == pytest.approx(0.1)
+        assert scheme.design(0.7).normalized_rate() == pytest.approx(0.1)
+
+    def test_below_mppm_in_theory(self, config):
+        # Why the paper omits VPPM from the comparison (footnote 5).
+        from repro.baselines import Mppm
+        for level in (0.2, 0.5, 0.8):
+            assert Vppm(config).design(level).normalized_rate() < \
+                Mppm(config).design(level).normalized_rate()
+
+    def test_width_quantisation(self, config):
+        design = Vppm(config).design(0.34)
+        assert design.width == 3
+        assert design.achieved_dimming == pytest.approx(0.3)
+
+
+class TestCodec:
+    def test_roundtrip(self, config):
+        design = Vppm(config).design(0.4)
+        bits = [1, 0, 0, 1, 1, 0, 1, 0]
+        slots = design.encode_payload(bits)
+        assert len(slots) == len(bits) * design.n_slots
+        assert design.decode_payload(slots, len(bits)) == bits
+
+    def test_lead_trail_shapes(self, config):
+        design = Vppm(config).design(0.3)
+        zero = design.encode_payload([0])
+        one = design.encode_payload([1])
+        assert zero[:design.width] == [True] * design.width
+        assert one[-design.width:] == [True] * design.width
+
+    def test_constant_duty(self, config):
+        design = Vppm(config).design(0.3)
+        slots = design.encode_payload([0, 1, 1, 0, 1])
+        n = design.n_slots
+        for start in range(0, len(slots), n):
+            assert sum(slots[start:start + n]) == design.width
+
+    def test_hamming_decision_tolerates_one_flip(self, config):
+        design = Vppm(config).design(0.5)
+        slots = design.encode_payload([1])
+        slots[0] = not slots[0]  # single corrupted slot
+        assert design.decode_payload(slots, 1) == [1]
+
+    def test_rejects_bad_bits(self, config):
+        with pytest.raises(ValueError):
+            Vppm(config).design(0.5).encode_payload([2])
+
+
+class TestValidation:
+    def test_success_probability(self, config):
+        design = Vppm(config).design(0.5)
+        errors = SlotErrorModel(1e-3, 1e-3)
+        assert 0.0 < design.success_probability(100, errors) < 1.0
+
+    def test_rejects_tiny_n(self, config):
+        with pytest.raises(ValueError):
+            Vppm(config, n_slots=1)
+
+    def test_invalid_dimming(self, config):
+        with pytest.raises(ValueError):
+            Vppm(config).design(1.0)

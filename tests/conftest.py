@@ -1,0 +1,52 @@
+"""Shared fixtures: configurations, designers and channels are expensive
+to build, so the paper-default instances are session-scoped."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AmppmDesigner, SlotErrorModel, SystemConfig
+from repro.phy import calibrated_channel
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    """The paper's operating parameters."""
+    return SystemConfig()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SystemConfig:
+    """A reduced configuration for tests that enumerate exhaustively."""
+    return SystemConfig(n_cap=21)
+
+
+@pytest.fixture(scope="session")
+def paper_errors(config) -> SlotErrorModel:
+    """The measured worst-case slot error constants."""
+    return SlotErrorModel.from_config(config)
+
+
+@pytest.fixture(scope="session")
+def designer(config) -> AmppmDesigner:
+    """Paper-default AMPPM designer (candidates + envelope prebuilt)."""
+    return AmppmDesigner(config)
+
+
+@pytest.fixture(scope="session")
+def small_designer(small_config) -> AmppmDesigner:
+    """Designer over the reduced candidate set."""
+    return AmppmDesigner(small_config)
+
+
+@pytest.fixture(scope="session")
+def channel(config):
+    """The calibrated optical channel."""
+    return calibrated_channel(config)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(0xC0FFEE)

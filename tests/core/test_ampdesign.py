@@ -1,0 +1,100 @@
+"""The AMPPM designer: Steps 1-3 end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AmppmDesigner,
+    SlotErrorModel,
+    SystemConfig,
+    UnreachableDimmingError,
+)
+
+
+class TestDesign:
+    def test_dimming_error_bounded_everywhere(self, designer, config):
+        for level in np.arange(0.05, 0.951, 0.005):
+            design = designer.design(float(level))
+            assert design.dimming_error <= config.tau_perceived + 1e-12
+
+    def test_flicker_bound_always_respected(self, designer, config):
+        for level in np.arange(0.05, 0.951, 0.01):
+            design = designer.design(float(level))
+            assert design.super_symbol.n_slots <= config.n_max_super
+
+    def test_at_most_two_patterns(self, designer):
+        # The paper: "at most two different symbol patterns are required".
+        for level in (0.1, 0.15, 0.33, 0.5, 0.77, 0.9):
+            s = designer.design(level).super_symbol
+            kinds = {p for p in s.symbols()}
+            assert len(kinds) <= 2
+
+    def test_exact_vertex_uses_single_pattern(self, designer):
+        vertex = designer.envelope.points[len(designer.envelope.points) // 2]
+        design = designer.design(vertex.dimming)
+        assert design.super_symbol.m2 == 0
+
+    def test_rate_tracks_envelope(self, designer):
+        # Between vertices the design's rate is close to the chord.
+        for level in (0.3, 0.45, 0.62, 0.8):
+            design = designer.design(level)
+            envelope_rate = designer.envelope.rate_at(level)
+            achieved = design.normalized_rate(designer.errors)
+            assert achieved >= 0.93 * envelope_rate
+
+    def test_rate_peaks_at_half(self, designer):
+        mid = designer.design(0.5).normalized_rate()
+        lo = designer.design(0.1).normalized_rate()
+        hi = designer.design(0.9).normalized_rate()
+        assert mid > lo
+        assert mid > hi
+
+    def test_roughly_symmetric(self, designer):
+        for level in (0.1, 0.2, 0.3, 0.4):
+            low = designer.design(level).normalized_rate()
+            high = designer.design(1.0 - level).normalized_rate()
+            assert low == pytest.approx(high, rel=0.15)
+
+    def test_out_of_range_raises(self, designer):
+        lo, hi = designer.supported_range
+        with pytest.raises(UnreachableDimmingError):
+            designer.design(lo / 2)
+        with pytest.raises(UnreachableDimmingError):
+            designer.design((1 + hi) / 2)
+
+    def test_clamped_design(self, designer):
+        lo, hi = designer.supported_range
+        assert designer.design_clamped(0.001).achieved_dimming == pytest.approx(
+            lo, abs=designer.config.tau_perceived)
+
+    def test_cache_returns_same_object(self, designer):
+        assert designer.design(0.42) is designer.design(0.42)
+
+    def test_candidates_are_copies(self, designer):
+        candidates = designer.candidates
+        candidates.clear()
+        assert designer.candidates
+
+
+class TestConfigurationEffects:
+    def test_too_noisy_channel_rejected(self):
+        noisy = SlotErrorModel(0.4, 0.4)
+        with pytest.raises(ValueError):
+            AmppmDesigner(SystemConfig(), noisy)
+
+    def test_smaller_cap_narrows_range(self):
+        wide = AmppmDesigner(SystemConfig(n_cap=50))
+        narrow = AmppmDesigner(SystemConfig(n_cap=10))
+        assert narrow.supported_range[0] > wide.supported_range[0]
+        assert narrow.supported_range[1] < wide.supported_range[1]
+
+    def test_ideal_channel_designer(self):
+        designer = AmppmDesigner(SystemConfig(), SlotErrorModel.ideal())
+        design = designer.design(0.5)
+        assert design.normalized_rate() > 0.9
+
+    def test_designs_reproducible_across_instances(self, config):
+        a = AmppmDesigner(config)
+        b = AmppmDesigner(config)
+        for level in (0.13, 0.5, 0.87):
+            assert a.design(level).super_symbol == b.design(level).super_symbol

@@ -1,0 +1,110 @@
+"""Eq. (3) symbol error rates and the Poisson detection model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SlotErrorModel, SystemConfig
+
+
+class TestEq3:
+    def test_paper_formula(self, paper_errors):
+        # PSER = 1 - (1-P1)^(N-K) (1-P2)^K
+        n, k = 20, 8
+        expected = 1.0 - (1 - 9e-5) ** 12 * (1 - 8e-5) ** 8
+        assert paper_errors.symbol_error_rate(n, k) == pytest.approx(expected)
+
+    def test_ideal_channel_never_errs(self):
+        ideal = SlotErrorModel.ideal()
+        assert ideal.symbol_error_rate(120, 60) == 0.0
+
+    def test_ser_grows_with_n_at_fixed_dimming(self, paper_errors):
+        # The Fig. 4 trend: same dimming level, larger N -> larger SER.
+        sers = [paper_errors.symbol_error_rate(n, n // 2)
+                for n in (10, 30, 50, 80, 120)]
+        assert sers == sorted(sers)
+        assert sers[-1] > 5 * sers[0]
+
+    def test_p1_dominant_makes_off_heavy_symbols_worse(self, paper_errors):
+        # P1 > P2, so at fixed N a lower dimming level errs more.
+        low = paper_errors.symbol_error_rate(50, 5)
+        high = paper_errors.symbol_error_rate(50, 45)
+        assert low > high
+
+    @given(st.integers(2, 100), st.data())
+    def test_ser_bounds(self, n, data):
+        k = data.draw(st.integers(0, n))
+        model = SlotErrorModel(1e-4, 2e-4)
+        ser = model.symbol_error_rate(n, k)
+        assert 0.0 <= ser <= 1.0
+
+    def test_invalid_k_rejected(self, paper_errors):
+        with pytest.raises(ValueError):
+            paper_errors.symbol_error_rate(10, 11)
+
+
+class TestConstructors:
+    def test_from_config_uses_measured_constants(self):
+        cfg = SystemConfig()
+        model = SlotErrorModel.from_config(cfg)
+        assert model.p_off_error == cfg.p_off_error
+        assert model.p_on_error == cfg.p_on_error
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            SlotErrorModel(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            SlotErrorModel(0.0, 1.1)
+
+    def test_scaled(self):
+        model = SlotErrorModel(1e-4, 2e-4)
+        scaled = model.scaled(10.0)
+        assert scaled.p_off_error == pytest.approx(1e-3)
+        assert scaled.p_on_error == pytest.approx(2e-3)
+
+    def test_scaled_clips_at_one(self):
+        model = SlotErrorModel(0.4, 0.4)
+        assert model.scaled(10.0).p_off_error == 1.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SlotErrorModel(0.1, 0.1).scaled(-1.0)
+
+
+class TestPoissonModel:
+    def test_separated_levels_give_small_errors(self):
+        model = SlotErrorModel.from_poisson_counts(
+            lambda_off=5.0, lambda_on=80.0, threshold=30.0)
+        assert model.p_off_error < 1e-6
+        assert model.p_on_error < 1e-6
+
+    def test_threshold_position_trades_errors(self):
+        low_thresh = SlotErrorModel.from_poisson_counts(10.0, 60.0, 20.0)
+        high_thresh = SlotErrorModel.from_poisson_counts(10.0, 60.0, 45.0)
+        assert low_thresh.p_off_error > high_thresh.p_off_error
+        assert low_thresh.p_on_error < high_thresh.p_on_error
+
+    def test_overlapping_levels_err_often(self):
+        model = SlotErrorModel.from_poisson_counts(20.0, 25.0, 22.0)
+        assert model.p_off_error > 0.1
+        assert model.p_on_error > 0.1
+
+    def test_rejects_inverted_rates(self):
+        with pytest.raises(ValueError):
+            SlotErrorModel.from_poisson_counts(50.0, 10.0, 30.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            SlotErrorModel.from_poisson_counts(-1.0, 10.0, 5.0)
+
+    def test_zero_ambient_never_false_alarms(self):
+        model = SlotErrorModel.from_poisson_counts(0.0, 50.0, 5.0)
+        assert model.p_off_error == 0.0
+
+    def test_large_lambda_uses_normal_approx(self):
+        model = SlotErrorModel.from_poisson_counts(1000.0, 4000.0, 2000.0)
+        assert 0.0 <= model.p_off_error < 1e-3
+        assert 0.0 <= model.p_on_error < 1e-3
+        assert math.isfinite(model.p_off_error)

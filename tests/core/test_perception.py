@@ -1,0 +1,85 @@
+"""The perception map Ip = 100·sqrt(Im/100) and flicker predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    is_type1_flicker_free,
+    is_type2_flicker_free,
+    measured_step_for,
+    perceived_step,
+    to_measured,
+    to_measured_percent,
+    to_perceived,
+    to_perceived_percent,
+)
+
+
+class TestPerceptionMap:
+    def test_paper_formula_percent(self):
+        assert to_perceived_percent(25.0) == pytest.approx(50.0)
+        assert to_perceived_percent(100.0) == pytest.approx(100.0)
+        assert to_perceived_percent(0.0) == 0.0
+
+    def test_normalized_equivalent(self):
+        assert to_perceived(0.25) == pytest.approx(0.5)
+
+    def test_inverse(self):
+        for v in (0.0, 0.1, 0.33, 0.5, 0.99, 1.0):
+            assert to_measured(to_perceived(v)) == pytest.approx(v)
+            assert to_measured_percent(to_perceived_percent(100 * v)) == \
+                pytest.approx(100 * v)
+
+    @given(st.floats(0.0, 1.0))
+    def test_monotone(self, x):
+        y = min(x + 0.01, 1.0)
+        assert to_perceived(y) >= to_perceived(x)
+
+    def test_concave_boosts_dark_changes(self):
+        # The same measured step is far more visible near darkness.
+        assert perceived_step(0.01, 0.02) > perceived_step(0.90, 0.91)
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            to_perceived(1.5)
+        with pytest.raises(ValueError):
+            to_perceived(-0.1)
+        with pytest.raises(ValueError):
+            to_measured(2.0)
+
+
+class TestMeasuredStepFor:
+    def test_produces_exact_perceived_delta(self):
+        for start in (0.0, 0.1, 0.5, 0.9):
+            tau = measured_step_for(start, 0.003)
+            assert perceived_step(start, start + tau) == pytest.approx(
+                0.003, abs=1e-12)
+
+    def test_step_grows_with_intensity(self):
+        # Fig. 10(b): the variable tau is larger when the LED is bright.
+        steps = [measured_step_for(x, 0.003) for x in (0.05, 0.2, 0.5, 0.9)]
+        assert steps == sorted(steps)
+
+    def test_clips_at_full_scale(self):
+        step = measured_step_for(0.9999, 0.1)
+        assert 0.9999 + step <= 1.0 + 1e-12
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            measured_step_for(0.5, -0.1)
+
+
+class TestFlickerPredicates:
+    def test_type2_threshold(self):
+        assert is_type2_flicker_free(0.5, 0.5 + 1e-4, 0.003)
+        assert not is_type2_flicker_free(0.04, 0.09, 0.003)
+
+    def test_type2_symmetric(self):
+        assert is_type2_flicker_free(0.51, 0.50, 0.01) == \
+            is_type2_flicker_free(0.50, 0.51, 0.01)
+
+    def test_type1_threshold(self):
+        assert is_type1_flicker_free(250.0, 250.0)
+        assert is_type1_flicker_free(1000.0, 250.0)
+        assert not is_type1_flicker_free(120.0, 250.0)

@@ -1,0 +1,101 @@
+"""Symbol patterns: Eq. (1)-(2) and candidate pruning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    SlotErrorModel,
+    SymbolPattern,
+    SystemConfig,
+    candidate_patterns,
+    enumerate_patterns,
+)
+
+
+class TestPattern:
+    def test_eq1_dimming(self):
+        assert SymbolPattern(10, 2).dimming == pytest.approx(0.2)
+
+    def test_eq2_rate(self, config):
+        # R = floor(log2 C(N,K)) / (N * t_slot) * (1 - PSER)
+        pattern = SymbolPattern(10, 5)
+        ideal_rate = pattern.data_rate(config)
+        assert ideal_rate == pytest.approx(7 / (10 * 8e-6))
+
+    def test_eq2_rate_with_errors(self, config, paper_errors):
+        pattern = SymbolPattern(10, 5)
+        ser = pattern.symbol_error_rate(paper_errors)
+        assert pattern.data_rate(config, paper_errors) == pytest.approx(
+            7 / (10 * 8e-6) * (1 - ser))
+
+    def test_duration(self, config):
+        assert SymbolPattern(20, 4).duration(config) == pytest.approx(160e-6)
+
+    def test_ordering_deterministic(self):
+        assert SymbolPattern(10, 2) < SymbolPattern(10, 3) < SymbolPattern(11, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SymbolPattern(0, 0)
+        with pytest.raises(ValueError):
+            SymbolPattern(5, 6)
+        with pytest.raises(ValueError):
+            SymbolPattern(5, -1)
+
+    def test_half_on_maximises_rate(self):
+        # The footnote the envelope anchor relies on: S(N, N//2) has the
+        # highest ideal rate among symbols of the same duration.
+        for n in (10, 15, 20, 21):
+            rates = {k: SymbolPattern(n, k).normalized_rate()
+                     for k in range(1, n)}
+            assert rates[n // 2] == max(rates.values())
+
+    @given(st.integers(2, 63), st.data())
+    def test_normalized_rate_bounds(self, n, data):
+        k = data.draw(st.integers(1, n - 1))
+        rate = SymbolPattern(n, k).normalized_rate()
+        assert 0.0 <= rate < 1.0  # floor(log2 C(N,K)) < N always
+
+
+class TestEnumeration:
+    def test_excludes_degenerate(self):
+        patterns = list(enumerate_patterns([5]))
+        assert all(0 < p.n_on < p.n_slots for p in patterns)
+        assert len(patterns) == 4
+
+    def test_skips_tiny_n(self):
+        assert list(enumerate_patterns([0, 1])) == []
+
+
+class TestCandidatePruning:
+    def test_all_survivors_satisfy_both_bounds(self, config, paper_errors):
+        for pattern in candidate_patterns(config, paper_errors):
+            assert pattern.n_slots <= min(config.n_cap, config.n_max_super)
+            assert pattern.symbol_error_rate(paper_errors) <= config.ser_bound
+            assert pattern.bits > 0
+
+    def test_tighter_bound_prunes_more(self, paper_errors):
+        loose = SystemConfig(ser_bound=6e-3)
+        tight = SystemConfig(ser_bound=1e-3)
+        assert len(candidate_patterns(tight, paper_errors)) < len(
+            candidate_patterns(loose, paper_errors))
+
+    def test_fig8_examples_pruned(self, paper_errors):
+        # With the paper's nominal 1e-3 bound, large-N patterns like
+        # S(50, 0.3) are abandoned while small-N ones survive.
+        config = SystemConfig(ser_bound=1e-3)
+        survivors = set(candidate_patterns(config, paper_errors))
+        assert SymbolPattern(50, 15) not in survivors
+        assert SymbolPattern(10, 5) in survivors
+
+    def test_ideal_channel_keeps_everything(self, config):
+        ideal = SlotErrorModel.ideal()
+        survivors = candidate_patterns(config, ideal)
+        n_hi = min(config.n_cap, config.n_max_super)
+        expected = sum(
+            1 for n in range(config.n_min, n_hi + 1)
+            for k in range(1, n)
+            if SymbolPattern(n, k).bits > 0
+        )
+        assert len(survivors) == expected

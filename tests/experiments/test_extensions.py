@@ -1,0 +1,116 @@
+"""Extension experiments: energy, multi-receiver room, bursts."""
+
+import pytest
+
+from repro.experiments import experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert {"ext-energy", "ext-room", "ext-burst",
+                "ext-payload"} <= set(experiment_ids())
+
+
+class TestExtSerBound:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("ext-serbound")
+
+    def test_winner_robust_across_consistent_settings(self, table):
+        # Settings where the bound admits the MPPM(N=20) baseline
+        # itself: AMPPM must win both comparisons.
+        consistent = [r for r in table.rows if "[inconsistent]" not in r[0]]
+        assert consistent
+        for _, gain_ook, gain_mppm in consistent:
+            assert gain_ook.startswith("+")
+            assert gain_mppm.startswith("+")
+
+    def test_paper_literal_bound_is_flagged(self, table):
+        # The paper's quoted 1e-3 bound excludes its own baseline: the
+        # harness must mark that row rather than hide it.
+        flagged = [r for r in table.rows if "[inconsistent]" in r[0]]
+        assert flagged
+        assert any(r[0].startswith("0.001") for r in flagged)
+
+    def test_default_marked_and_near_paper(self, table):
+        default_rows = [r for r in table.rows if "(default)" in r[0]]
+        assert len(default_rows) == 1
+        gain_ook = int(default_rows[0][1].rstrip("%"))
+        gain_mppm = int(default_rows[0][2].rstrip("%"))
+        assert 35 <= gain_ook <= 45      # paper: +40%
+        assert 8 <= gain_mppm <= 16      # paper: +12%
+
+
+class TestExtPayload:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_experiment("ext-payload")
+
+    def test_throughput_grows_with_payload(self, fig):
+        for series in fig.series:
+            assert series.y[-1] > series.y[0]
+
+    def test_gain_grows_with_payload(self, fig):
+        # The Section 6.1 remark: small payloads dilute AMPPM's edge.
+        ampem = fig.get("AMPPM")
+        ookct = fig.get("OOK-CT")
+        gain_small = ampem.y[0] / ookct.y[0]
+        gain_large = ampem.y[-1] / ookct.y[-1]
+        assert gain_large > gain_small
+
+    def test_amppm_wins_at_low_dimming(self, fig):
+        ampem = fig.get("AMPPM")
+        ookct = fig.get("OOK-CT")
+        # dimming 0.2: AMPPM should win once overhead is amortised.
+        assert ampem.y[-1] > ookct.y[-1]
+
+
+class TestExtEnergy:
+    def test_saving_positive(self):
+        table = run_experiment("ext-energy")
+        values = dict(table.rows)
+        saving = int(values["saving fraction"].rstrip("%"))
+        assert 20 <= saving <= 80
+
+    def test_energy_arithmetic_consistent(self):
+        table = run_experiment("ext-energy")
+        values = dict(table.rows)
+        smart = float(values["smart LED energy"].split()[0])
+        baseline = float(values["always-full baseline"].split()[0])
+        saved = float(values["energy saved"].split()[0])
+        assert smart + saved == pytest.approx(baseline, abs=0.2)
+
+
+class TestExtRoom:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_experiment("ext-room", duration_s=30.0)
+
+    def test_three_desks(self, fig):
+        assert len(fig.series) == 3
+
+    def test_all_desks_in_paper_band(self, fig):
+        for series in fig.series:
+            assert min(series.y) > 20
+            assert max(series.y) < 130
+
+    def test_near_desk_dominates(self, fig):
+        near = fig.get("desk-under-lamp")
+        far = fig.get("desk-corner")
+        assert all(a >= b - 1e-9 for a, b in zip(near.y, far.y))
+
+
+class TestExtBurst:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_experiment("ext-burst", trials=40)
+
+    def test_bursty_never_worse(self, fig):
+        bursty = fig.get("bursty (Gilbert-Elliott)")
+        iid = fig.get("iid, same avg error rate")
+        assert all(b <= i + 1e-9 for b, i in zip(bursty.y, iid.y))
+
+    def test_loss_grows_with_shadowing(self, fig):
+        iid = fig.get("iid, same avg error rate")
+        assert iid.y[-1] >= iid.y[0]
+        assert iid.y[-1] > 0.5  # heavy shadowing kills iid frames

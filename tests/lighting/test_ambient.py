@@ -1,0 +1,105 @@
+"""Ambient light profiles."""
+
+import numpy as np
+import pytest
+
+from repro.lighting import (
+    LUX_FULL_SCALE,
+    BlindRampAmbient,
+    CloudyDayAmbient,
+    StaticAmbient,
+    StepAmbient,
+)
+
+
+class TestStatic:
+    def test_constant(self):
+        profile = StaticAmbient(0.4)
+        assert profile.intensity(0.0) == profile.intensity(1e6) == 0.4
+
+    def test_lux_mapping(self):
+        assert StaticAmbient(1.0).lux(0.0) == pytest.approx(LUX_FULL_SCALE)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticAmbient(1.5)
+
+
+class TestBlindRamp:
+    def test_endpoints(self):
+        ramp = BlindRampAmbient()
+        assert ramp.intensity(0.0) == pytest.approx(ramp.start_level)
+        assert ramp.intensity(ramp.duration_s) == pytest.approx(ramp.end_level)
+
+    def test_monotone_overall_but_wobbly(self):
+        ramp = BlindRampAmbient()
+        t = np.linspace(0.0, 67.0, 300)
+        trace = ramp.trace(t)
+        # Overall increasing...
+        assert trace[-1] > trace[0]
+        assert np.all(np.diff(trace) > -0.02)
+        # ...but not perfectly linear (the paper's observation).
+        linear = np.linspace(trace[0], trace[-1], trace.size)
+        assert np.abs(trace - linear).max() > 0.005
+
+    def test_deterministic_per_seed(self):
+        a = BlindRampAmbient(seed=1).trace(np.linspace(0, 67, 50))
+        b = BlindRampAmbient(seed=1).trace(np.linspace(0, 67, 50))
+        c = BlindRampAmbient(seed=2).trace(np.linspace(0, 67, 50))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_bounded(self):
+        ramp = BlindRampAmbient(start_level=0.0, end_level=1.0, wobble=0.1)
+        trace = ramp.trace(np.linspace(-5, 80, 400))
+        assert np.all(trace >= 0.0)
+        assert np.all(trace <= 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlindRampAmbient(duration_s=0.0)
+        with pytest.raises(ValueError):
+            BlindRampAmbient(curvature=0.7)
+
+
+class TestCloudyDay:
+    def test_daylight_arc(self):
+        day = CloudyDayAmbient(cloud_depth=0.0)
+        dawn = day.intensity(0.0)
+        noon = day.intensity(day.day_length_s / 2)
+        dusk = day.intensity(day.day_length_s)
+        assert dawn == pytest.approx(0.0, abs=1e-9)
+        assert noon == pytest.approx(day.peak_level)
+        assert dusk == pytest.approx(0.0, abs=1e-9)
+
+    def test_clouds_attenuate(self):
+        clear = CloudyDayAmbient(cloud_depth=0.0)
+        cloudy = CloudyDayAmbient(cloud_depth=0.6, seed=5)
+        t = np.linspace(0, clear.day_length_s, 200)
+        assert np.all(cloudy.trace(t) <= clear.trace(t) + 1e-12)
+
+    def test_clouds_move_fast(self):
+        day = CloudyDayAmbient(cloud_depth=0.8, cloud_time_scale_s=10.0)
+        mid = day.day_length_s / 2
+        window = day.trace(np.linspace(mid - 30, mid + 30, 100))
+        assert window.max() - window.min() > 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudyDayAmbient(cloud_depth=1.0)
+
+
+class TestStepProfile:
+    def test_steps(self):
+        profile = StepAmbient(steps=((0.0, 0.1), (5.0, 0.6)))
+        assert profile.intensity(0.0) == 0.1
+        assert profile.intensity(4.99) == 0.1
+        assert profile.intensity(5.0) == 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepAmbient(steps=())
+        with pytest.raises(ValueError):
+            StepAmbient(steps=((5.0, 0.1),))
+        with pytest.raises(ValueError):
+            StepAmbient(steps=((0.0, 0.1), (1.0, 1.5)))

@@ -1,0 +1,92 @@
+"""Photometric illuminance at the work surface."""
+
+import math
+
+import pytest
+
+from repro.lighting import DeskIlluminance, Luminaire
+
+
+class TestLuminaire:
+    def test_on_axis_illuminance(self):
+        lum = Luminaire(luminous_flux_lm=470.0, semi_angle_deg=15.0,
+                        height_m=2.5)
+        # E = I0 / h^2 directly below.
+        assert lum.illuminance_lux(1.0) == pytest.approx(
+            lum.peak_intensity_cd / 2.5 ** 2)
+
+    def test_linear_in_dimming(self):
+        lum = Luminaire()
+        assert lum.illuminance_lux(0.5) == pytest.approx(
+            0.5 * lum.illuminance_lux(1.0))
+        assert lum.illuminance_lux(0.0) == 0.0
+
+    def test_decreases_off_axis(self):
+        lum = Luminaire()
+        assert lum.illuminance_lux(1.0, radial_offset_m=0.5) < \
+            lum.illuminance_lux(1.0)
+
+    def test_narrow_beam_concentrates(self):
+        narrow = Luminaire(semi_angle_deg=15.0)
+        wide = Luminaire(semi_angle_deg=60.0)
+        # Same flux: the narrow beam is brighter on-axis, dimmer off.
+        assert narrow.illuminance_lux(1.0) > wide.illuminance_lux(1.0)
+        assert narrow.illuminance_lux(1.0, 1.5) < wide.illuminance_lux(1.0, 1.5)
+
+    def test_inverse_square_in_height(self):
+        low = Luminaire(height_m=2.0)
+        high = Luminaire(height_m=4.0)
+        assert low.illuminance_lux(1.0) / high.illuminance_lux(1.0) == \
+            pytest.approx(4.0)
+
+    def test_dimming_for_lux_inverts(self):
+        lum = Luminaire()
+        target = 0.6 * lum.illuminance_lux(1.0)
+        dimming = lum.dimming_for_lux(target)
+        assert lum.illuminance_lux(dimming) == pytest.approx(target)
+
+    def test_dimming_for_lux_clips(self):
+        lum = Luminaire()
+        assert lum.dimming_for_lux(1e6) == 1.0
+
+    def test_comms_front_end_shares_beam(self):
+        lum = Luminaire(semi_angle_deg=15.0)
+        fe = lum.comms_front_end()
+        assert fe.semi_angle_deg == 15.0
+        assert math.isclose(fe.lambertian_order, lum.lambertian_order)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Luminaire(luminous_flux_lm=0.0)
+        with pytest.raises(ValueError):
+            Luminaire(height_m=-1.0)
+        with pytest.raises(ValueError):
+            Luminaire().illuminance_lux(1.5)
+
+
+class TestDeskIlluminance:
+    def test_total_adds_daylight(self):
+        desk = DeskIlluminance(Luminaire(), ambient_full_lux=1000.0)
+        led_only = desk.total_lux(0.5, 0.0)
+        with_sun = desk.total_lux(0.5, 0.5)
+        assert with_sun == pytest.approx(led_only + 500.0)
+
+    def test_goal1_in_lux(self):
+        # The lux-domain Eq. (5): dimming completes the target.
+        desk = DeskIlluminance(Luminaire(), ambient_full_lux=1000.0)
+        target = 0.8 * desk.luminaire.illuminance_lux(1.0)
+        for ambient in (0.0, 0.1, 0.2):
+            dimming = desk.dimming_for_total(target, ambient)
+            assert 0.0 < dimming < 1.0
+            assert desk.total_lux(dimming, ambient) == pytest.approx(target)
+
+    def test_saturates_when_sun_exceeds_target(self):
+        desk = DeskIlluminance(Luminaire(), ambient_full_lux=10_000.0)
+        assert desk.dimming_for_total(300.0, 1.0) == 0.0
+
+    def test_validation(self):
+        desk = DeskIlluminance(Luminaire())
+        with pytest.raises(ValueError):
+            desk.total_lux(0.5, 1.5)
+        with pytest.raises(ValueError):
+            desk.dimming_for_total(100.0, -0.1)

@@ -1,0 +1,67 @@
+"""Day/night scheme hand-over (paper Section 7)."""
+
+import pytest
+
+from repro.lighting import DayNightManager, LinkMode
+
+
+class TestSelection:
+    def test_daytime_uses_smartvlc(self, config):
+        manager = DayNightManager(config=config)
+        decision = manager.select(0.4)
+        assert decision.mode is LinkMode.SMARTVLC
+        assert decision.design.achieved_dimming == pytest.approx(0.4, abs=0.01)
+
+    def test_lights_off_uses_darklight(self, config):
+        manager = DayNightManager(config=config)
+        decision = manager.select(0.0)
+        assert decision.mode is LinkMode.DARKLIGHT
+        assert decision.design.achieved_dimming < 0.01
+
+    def test_threshold_is_amppm_floor_by_default(self, config):
+        manager = DayNightManager(config=config)
+        from repro.schemes import AmppmScheme
+        floor = AmppmScheme(config).supported_range[0]
+        assert manager.night_threshold == pytest.approx(floor)
+
+    def test_data_flows_in_both_modes(self, config):
+        from repro.link import Receiver, Transmitter
+        manager = DayNightManager(config=config)
+        tx, rx = Transmitter(config), Receiver(config)
+        for level in (0.0, 0.5):
+            decision = manager.select(level)
+            slots = tx.encode_frame(b"always on air", decision.design)
+            assert rx.decode_frame(slots).payload == b"always on air"
+
+    def test_night_rate_much_lower(self, config):
+        manager = DayNightManager(config=config)
+        day = manager.select(0.5).data_rate_factor
+        night = manager.select(0.0).data_rate_factor
+        assert night < 0.05 * day
+        assert night > 0.0
+
+
+class TestSwitching:
+    def test_switch_counting(self, config):
+        manager = DayNightManager(config=config)
+        for level in (0.5, 0.4, 0.0, 0.0, 0.3):
+            manager.select(level)
+        assert manager.mode_switches == 2
+
+    def test_no_switch_within_mode(self, config):
+        manager = DayNightManager(config=config)
+        for level in (0.2, 0.4, 0.6):
+            manager.select(level)
+        assert manager.mode_switches == 0
+
+    def test_custom_threshold(self, config):
+        manager = DayNightManager(config=config, night_threshold=0.1)
+        assert manager.select(0.05).mode is LinkMode.DARKLIGHT
+        assert manager.select(0.15).mode is LinkMode.SMARTVLC
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            DayNightManager(config=config, night_threshold=1.5)
+        manager = DayNightManager(config=config)
+        with pytest.raises(ValueError):
+            manager.select(-0.1)

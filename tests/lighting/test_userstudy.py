@@ -1,0 +1,120 @@
+"""The Table 2 user-study model."""
+
+import pytest
+
+from repro.lighting import (
+    DIRECT_RESOLUTIONS,
+    INDIRECT_RESOLUTIONS,
+    AmbientCondition,
+    ThresholdDistribution,
+    Viewing,
+    VolunteerPopulation,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return VolunteerPopulation()
+
+
+class TestTableStructure:
+    def test_monotone_in_resolution(self, population):
+        # Bigger steps are never less visible.
+        for viewing in Viewing:
+            for condition in AmbientCondition:
+                resolutions = (DIRECT_RESOLUTIONS if viewing is Viewing.DIRECT
+                               else INDIRECT_RESOLUTIONS)
+                percents = [population.percent_perceiving(r, viewing, condition)
+                            for r in resolutions]
+                assert percents == sorted(percents)
+
+    def test_darker_ambient_more_sensitive(self, population):
+        # The L3 column dominates L1 at every resolution (dark-adapted
+        # pupils), for both viewing manners.
+        for viewing, resolutions in ((Viewing.DIRECT, DIRECT_RESOLUTIONS),
+                                     (Viewing.INDIRECT, INDIRECT_RESOLUTIONS)):
+            for r in resolutions:
+                l1 = population.percent_perceiving(r, viewing, AmbientCondition.L1)
+                l3 = population.percent_perceiving(r, viewing, AmbientCondition.L3)
+                assert l3 >= l1
+
+    def test_direct_roughly_10x_more_sensitive(self, population):
+        direct = population.safe_resolution(Viewing.DIRECT)
+        indirect = population.safe_resolution(Viewing.INDIRECT)
+        assert 8 <= indirect / direct <= 20
+
+    def test_table_extremes(self, population):
+        # First rows all zeros, last rows all 100% — as in Table 2.
+        for condition in AmbientCondition:
+            assert population.percent_perceiving(
+                0.003, Viewing.DIRECT, condition) == 0.0
+            assert population.percent_perceiving(
+                0.007, Viewing.DIRECT, condition) == 100.0
+            assert population.percent_perceiving(
+                0.04, Viewing.INDIRECT, condition) == 0.0
+            assert population.percent_perceiving(
+                0.08, Viewing.INDIRECT, condition) == 100.0
+
+    def test_paper_tau_p(self, population):
+        # The paper's conclusion: 0.003 is safe for everyone, 0.004+ is
+        # not safe in the darkest condition under direct viewing.
+        assert population.safe_resolution(Viewing.DIRECT) >= 0.003
+        assert population.percent_perceiving(
+            0.004, Viewing.DIRECT, AmbientCondition.L3) > 0.0
+
+
+class TestPopulation:
+    def test_seeded_and_reproducible(self):
+        a = VolunteerPopulation(seed=11)
+        b = VolunteerPopulation(seed=11)
+        c = VolunteerPopulation(seed=12)
+        key = (Viewing.DIRECT, AmbientCondition.L1)
+        assert (a.thresholds[key] == b.thresholds[key]).all()
+        assert not (a.thresholds[key] == c.thresholds[key]).all()
+
+    def test_twenty_volunteers(self, population):
+        assert population.n_volunteers == 20
+        for thresholds in population.thresholds.values():
+            assert thresholds.shape == (20,)
+
+    def test_census_shape(self, population):
+        census = population.census(Viewing.DIRECT)
+        assert set(census) == set(DIRECT_RESOLUTIONS)
+        for row in census.values():
+            assert set(row) == set(AmbientCondition)
+
+    def test_percent_granularity(self, population):
+        # With 20 volunteers the percentages are multiples of 5.
+        for viewing, resolutions in ((Viewing.DIRECT, DIRECT_RESOLUTIONS),
+                                     (Viewing.INDIRECT, INDIRECT_RESOLUTIONS)):
+            for r in resolutions:
+                for c in AmbientCondition:
+                    p = population.percent_perceiving(r, viewing, c)
+                    assert p == pytest.approx(round(p / 5) * 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolunteerPopulation(n_volunteers=0)
+        with pytest.raises(ValueError):
+            VolunteerPopulation().percent_perceiving(
+                0.0, Viewing.DIRECT, AmbientCondition.L1)
+
+
+class TestThresholdDistribution:
+    def test_clipping(self, rng):
+        dist = ThresholdDistribution(mean=0.005, std=0.01, lo=0.004, hi=0.006)
+        samples = dist.sample(rng, 1000)
+        assert samples.min() >= 0.004
+        assert samples.max() <= 0.006
+
+    def test_fraction_perceiving_monotone(self):
+        dist = ThresholdDistribution(mean=0.005, std=0.001, lo=0.003, hi=0.007)
+        fractions = [dist.fraction_perceiving(r)
+                     for r in (0.002, 0.004, 0.005, 0.006, 0.008)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_lux_bands(self):
+        assert AmbientCondition.L1.lux_band == (8900.0, 9760.0)
+        assert AmbientCondition.L3.lux_band == (12.0, 21.0)

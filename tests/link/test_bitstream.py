@@ -1,0 +1,33 @@
+"""Byte/bit packing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.link import bits_to_bytes, bytes_to_bits
+
+
+class TestConversions:
+    def test_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_empty(self):
+        assert bytes_to_bits(b"") == []
+        assert bits_to_bytes([]) == b""
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([0, 1, 2, 0, 0, 0, 0, 0])
+
+    @given(st.binary(max_size=64))
+    def test_property_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data

@@ -1,0 +1,54 @@
+"""CRC-16-CCITT correctness and error detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link import append_crc, check_crc, crc16
+
+
+class TestKnownVectors:
+    def test_check_value(self):
+        # The classic CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_deterministic(self):
+        assert crc16(b"smartvlc") == crc16(b"smartvlc")
+
+
+class TestAppendCheck:
+    def test_roundtrip(self):
+        framed = append_crc(b"hello world")
+        assert check_crc(framed)
+        assert framed[:-2] == b"hello world"
+
+    def test_too_short_fails(self):
+        assert not check_crc(b"")
+        assert not check_crc(b"\x12")
+
+    @given(st.binary(min_size=1, max_size=256))
+    @settings(max_examples=60)
+    def test_property_roundtrip(self, data):
+        assert check_crc(append_crc(data))
+
+    @given(st.binary(min_size=1, max_size=128), st.data())
+    @settings(max_examples=60)
+    def test_property_single_bit_flip_detected(self, data, draw):
+        framed = bytearray(append_crc(data))
+        bit = draw.draw(st.integers(0, len(framed) * 8 - 1))
+        framed[bit // 8] ^= 1 << (bit % 8)
+        assert not check_crc(bytes(framed))
+
+    def test_burst_errors_detected(self):
+        framed = bytearray(append_crc(bytes(range(64))))
+        framed[10] ^= 0xFF
+        framed[11] ^= 0xFF
+        assert not check_crc(bytes(framed))
+
+    def test_transposition_detected(self):
+        framed = bytearray(append_crc(b"ABCDEF"))
+        framed[0], framed[1] = framed[1], framed[0]
+        assert not check_crc(bytes(framed))

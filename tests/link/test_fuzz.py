@@ -1,0 +1,74 @@
+"""Fuzzing the receiver: arbitrary corruption must never crash or lie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SystemConfig
+from repro.link import Receiver, Transmitter
+from repro.link.frame import FrameError, PreambleNotFoundError
+from repro.schemes import AmppmScheme, OokCt
+
+
+@pytest.fixture(scope="module")
+def stack():
+    config = SystemConfig()
+    return config, Transmitter(config), Receiver(config)
+
+
+class TestReceiverRobustness:
+    @given(st.lists(st.booleans(), min_size=0, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_random_slot_soup_never_crashes(self, slots):
+        rx = Receiver(SystemConfig())
+        try:
+            frame = rx.decode_frame(slots)
+        except FrameError:
+            return  # every structured failure mode is acceptable
+        # Decoding random noise succeeds only past a CRC-16: should be
+        # essentially impossible at these lengths.
+        assert frame.payload is not None  # pragma: no cover
+
+    @given(st.integers(0, 2**32 - 1), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_random_bit_flips_never_yield_wrong_payload(self, seed, data):
+        config, tx, rx = (SystemConfig(), None, None)
+        stack_tx = Transmitter(config)
+        stack_rx = Receiver(config)
+        design = AmppmScheme(config).design(0.5)
+        payload = bytes(range(24))
+        slots = list(stack_tx.encode_frame(payload, design))
+        rng = np.random.default_rng(seed)
+        n_flips = data.draw(st.integers(1, 12))
+        for index in rng.integers(0, len(slots), size=n_flips):
+            slots[index] = not slots[index]
+        try:
+            frame = stack_rx.decode_frame(slots)
+        except FrameError:
+            return
+        # If decoding 'succeeds', the CRC must have actually matched —
+        # which only happens when the flips cancelled out.
+        assert frame.payload == payload
+
+    def test_mass_corruption_of_every_scheme(self, stack, rng):
+        config, tx, rx = stack
+        payload = bytes(range(32))
+        for scheme in (AmppmScheme(config), OokCt(config)):
+            design = scheme.design_clamped(0.4)
+            slots = list(tx.encode_frame(payload, design))
+            for trial in range(20):
+                corrupted = list(slots)
+                for index in rng.integers(0, len(slots), size=30):
+                    corrupted[index] = not corrupted[index]
+                try:
+                    frame = rx.decode_frame(corrupted)
+                except (FrameError, PreambleNotFoundError):
+                    continue
+                assert frame.payload == payload
+
+    def test_empty_and_tiny_streams(self, stack):
+        _, _, rx = stack
+        for stream in ([], [True], [False] * 23):
+            with pytest.raises(FrameError):
+                rx.decode_frame(stream)

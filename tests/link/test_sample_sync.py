@@ -1,0 +1,77 @@
+"""Sample-level frame synchronisation (preamble correlation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig
+from repro.link import PreambleNotFoundError, SampleSynchronizer, Transmitter
+from repro.phy import SlotSampler, WaveformSynthesizer
+from repro.schemes import AmppmScheme
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    config = SystemConfig()
+    return (config, SampleSynchronizer(config), WaveformSynthesizer(config),
+            SlotSampler(config), Transmitter(config),
+            AmppmScheme(config).design(0.5))
+
+
+class TestTemplate:
+    def test_template_shape(self, pieces):
+        config, sync, *_ = pieces
+        template = sync.preamble_template()
+        assert template.size == 24 * config.oversampling
+        assert set(np.unique(template)) == {-1.0, 1.0}
+
+
+class TestFrameStart:
+    def test_exact_offset_found(self, pieces, rng):
+        config, sync, synth, _, tx, design = pieces
+        slots = tx.encode_frame(b"sync me", design)
+        for lead in (0, 3, 17, 40):
+            padded = [False] * lead + slots
+            samples = synth.drive_waveform(padded)
+            start = sync.find_frame_start(samples)
+            assert start == lead * config.oversampling
+
+    def test_offset_found_under_noise(self, pieces, rng):
+        config, sync, synth, _, tx, design = pieces
+        slots = tx.encode_frame(b"noisy sync", design)
+        padded = [False] * 25 + slots
+        samples = synth.drive_waveform(padded)
+        samples = samples + rng.normal(0, 0.2, samples.size)
+        start = sync.find_frame_start(samples)
+        assert start == 25 * config.oversampling
+
+    def test_dc_pedestal_ignored(self, pieces, rng):
+        # The correlator centres the signal, so an ambient pedestal
+        # must not bias the peak.
+        config, sync, synth, _, tx, design = pieces
+        slots = tx.encode_frame(b"dc", design)
+        samples = synth.drive_waveform([False] * 10 + slots) + 5.0
+        assert sync.find_frame_start(samples) == 10 * config.oversampling
+
+    def test_too_short_stream_rejected(self, pieces):
+        _, sync, *_ = pieces
+        with pytest.raises(PreambleNotFoundError):
+            sync.find_frame_start(np.zeros(10))
+
+
+class TestSyncToDecode:
+    def test_full_chain_with_sample_offset(self, pieces, rng):
+        """Synchronise, sample, decode — with an odd sample offset."""
+        from repro.link import Receiver
+
+        config, sync, synth, sampler, tx, design = pieces
+        payload = bytes(range(40))
+        slots = tx.encode_frame(payload, design)
+        padded = [False] * 9 + slots + [False] * 9
+        samples = synth.drive_waveform(padded)
+        samples = samples + rng.normal(0, 0.05, samples.size)
+
+        start = sync.find_frame_start(samples)
+        n_slots = (samples.size - start) // config.oversampling
+        decided = sampler.decide(samples, n_slots, offset=start)
+        frame = Receiver(config).decode_frame(decided)
+        assert frame.payload == payload

@@ -1,0 +1,83 @@
+"""The Wi-Fi ambient-report feedback plane."""
+
+import numpy as np
+import pytest
+
+from repro.link import WifiUplink
+from repro.net import Aggregation, AmbientReport, FeedbackCollector
+
+
+def collector(**kwargs) -> FeedbackCollector:
+    defaults = dict(uplink=WifiUplink(latency_s=1e-3, jitter_s=0.0))
+    defaults.update(kwargs)
+    return FeedbackCollector(**defaults)
+
+
+class TestDelivery:
+    def test_report_arrives_after_latency(self, rng):
+        c = collector()
+        c.submit(AmbientReport("a", 0.4, sensed_at=0.0), rng)
+        assert c.ambient_estimate(0.0005) is None  # still in flight
+        assert c.ambient_estimate(0.002) == pytest.approx(0.4)
+
+    def test_lost_report_never_arrives(self, rng):
+        c = collector(uplink=WifiUplink(loss_probability=0.999999))
+        c.submit(AmbientReport("a", 0.4, sensed_at=0.0), rng)
+        assert c.ambient_estimate(10.0) is None
+
+    def test_fallback_used_when_empty(self, rng):
+        c = collector()
+        assert c.ambient_estimate(1.0, fallback=0.7) == 0.7
+
+    def test_stale_reports_dropped(self, rng):
+        c = collector(staleness_s=2.0)
+        c.submit(AmbientReport("a", 0.4, sensed_at=0.0), rng)
+        assert c.ambient_estimate(1.0) == pytest.approx(0.4)
+        assert c.ambient_estimate(5.0, fallback=0.9) == 0.9
+
+    def test_fresher_sensing_wins_per_node(self, rng):
+        c = collector()
+        c.submit(AmbientReport("a", 0.2, sensed_at=0.0), rng)
+        c.submit(AmbientReport("a", 0.6, sensed_at=1.0), rng)
+        assert c.ambient_estimate(2.0) == pytest.approx(0.6)
+
+    def test_known_nodes(self, rng):
+        c = collector()
+        c.submit(AmbientReport("a", 0.2, sensed_at=0.0), rng)
+        c.submit(AmbientReport("b", 0.4, sensed_at=0.0), rng)
+        c.fresh_reports(1.0)
+        assert set(c.known_nodes()) == {"a", "b"}
+
+
+class TestAggregation:
+    def _loaded(self, rng, policy) -> FeedbackCollector:
+        c = collector(aggregation=policy)
+        c.submit(AmbientReport("a", 0.2, sensed_at=0.0), rng)
+        c.submit(AmbientReport("b", 0.6, sensed_at=0.5), rng)
+        return c
+
+    def test_mean(self, rng):
+        c = self._loaded(rng, Aggregation.MEAN)
+        assert c.ambient_estimate(1.0) == pytest.approx(0.4)
+
+    def test_min(self, rng):
+        c = self._loaded(rng, Aggregation.MIN)
+        assert c.ambient_estimate(1.0) == pytest.approx(0.2)
+
+    def test_max(self, rng):
+        c = self._loaded(rng, Aggregation.MAX)
+        assert c.ambient_estimate(1.0) == pytest.approx(0.6)
+
+    def test_latest(self, rng):
+        c = self._loaded(rng, Aggregation.LATEST)
+        assert c.ambient_estimate(1.0) == pytest.approx(0.6)
+
+
+class TestValidation:
+    def test_report_value_range(self):
+        with pytest.raises(ValueError):
+            AmbientReport("a", 1.4, 0.0)
+
+    def test_staleness_positive(self):
+        with pytest.raises(ValueError):
+            FeedbackCollector(staleness_s=0.0)

@@ -1,0 +1,99 @@
+"""The multi-receiver room simulation."""
+
+import math
+
+import pytest
+
+from repro.lighting import BlindRampAmbient, StaticAmbient
+from repro.net import ReceiverPlacement, RoomSimulation
+
+
+class TestPlacement:
+    def test_geometry_from_offsets(self):
+        p = ReceiverPlacement("x", 1.0, vertical_drop_m=1.0)
+        assert p.geometry.distance_m == pytest.approx(math.sqrt(2))
+        assert p.geometry.incidence_angle_deg == pytest.approx(45.0)
+
+    def test_under_lamp_is_on_axis(self):
+        p = ReceiverPlacement("x", 0.0)
+        assert p.geometry.incidence_angle_deg == 0.0
+
+    def test_daylight_gain(self):
+        p = ReceiverPlacement("x", 0.0, daylight_gain=1.2)
+        assert p.local_ambient(0.5) == pytest.approx(0.6)
+        assert p.local_ambient(0.9) == 1.0  # clipped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiverPlacement("x", -1.0)
+        with pytest.raises(ValueError):
+            ReceiverPlacement("x", 0.0, vertical_drop_m=0.0)
+
+
+class TestRoom:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        room = RoomSimulation(profile=BlindRampAmbient())
+        return room.run(30.0), room
+
+    def test_all_default_desks_linked(self, samples):
+        history, _ = samples
+        for sample in history:
+            for node in sample.nodes:
+                assert node.link_ok, node.name
+
+    def test_near_desk_fastest(self, samples):
+        history, _ = samples
+        for sample in history:
+            near = sample.node("desk-under-lamp")
+            far = sample.node("desk-corner")
+            assert near.throughput_bps >= far.throughput_bps
+
+    def test_led_tracks_fused_ambient(self, samples):
+        history, room = samples
+        first, last = history[0], history[-1]
+        assert last.fused_ambient > first.fused_ambient
+        assert last.led < first.led
+
+    def test_controller_keeps_sum(self, samples):
+        history, room = samples
+        for sample in history:
+            assert sample.led + sample.fused_ambient == pytest.approx(
+                room.target_sum, abs=0.02)
+
+    def test_aggregate_sums_nodes(self, samples):
+        history, _ = samples
+        sample = history[0]
+        assert sample.aggregate_throughput_bps == pytest.approx(
+            sum(n.throughput_bps for n in sample.nodes))
+
+    def test_unknown_node_lookup(self, samples):
+        history, _ = samples
+        with pytest.raises(KeyError):
+            history[0].node("nope")
+
+    def test_deterministic_per_seed(self):
+        a = RoomSimulation(seed=5, profile=StaticAmbient(0.4)).run(5.0)
+        b = RoomSimulation(seed=5, profile=StaticAmbient(0.4)).run(5.0)
+        assert [s.led for s in a] == [s.led for s in b]
+
+    def test_far_desk_outside_beam_is_down(self):
+        room = RoomSimulation(
+            placements=(ReceiverPlacement("far-desk", 3.0),),
+            profile=StaticAmbient(0.4))
+        sample = room.step(0.0)
+        assert not sample.nodes[0].link_ok
+
+    def test_window_desk_senses_more_daylight(self):
+        room = RoomSimulation(profile=StaticAmbient(0.5))
+        sample = room.step(0.0)
+        assert sample.node("desk-window").ambient > \
+            sample.node("desk-corner").ambient
+
+    def test_needs_receivers(self):
+        with pytest.raises(ValueError):
+            RoomSimulation(placements=())
+
+    def test_tick_validation(self):
+        with pytest.raises(ValueError):
+            RoomSimulation().run(1.0, tick_s=0.0)

@@ -1,0 +1,43 @@
+"""ADC quantisation and clipping."""
+
+import numpy as np
+import pytest
+
+from repro.phy import AdcModel
+
+
+class TestQuantisation:
+    def test_levels(self):
+        assert AdcModel(bits=12).levels == 4096
+        assert AdcModel(bits=8).levels == 256
+
+    def test_codes_bounded(self):
+        adc = AdcModel(bits=8, full_scale=1.0)
+        signal = np.linspace(-0.5, 1.5, 100)
+        codes = adc.quantize(signal)
+        assert codes.min() == 0
+        assert codes.max() == 255
+
+    def test_quantisation_error_within_half_lsb(self):
+        adc = AdcModel(bits=10, full_scale=1.0)
+        signal = np.linspace(0.0, 1.0, 1000)
+        recon = adc.convert(signal)
+        assert np.abs(recon - signal).max() <= adc.lsb / 2 + 1e-12
+
+    def test_monotone(self):
+        adc = AdcModel(bits=6, full_scale=2.0)
+        signal = np.linspace(0.0, 2.0, 500)
+        codes = adc.quantize(signal)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_to_analog_inverts_scaling(self):
+        adc = AdcModel(bits=12, full_scale=1e-5)
+        assert adc.to_analog(np.array([adc.levels - 1]))[0] == pytest.approx(1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdcModel(bits=0)
+        with pytest.raises(ValueError):
+            AdcModel(full_scale=0.0)
+        with pytest.raises(ValueError):
+            AdcModel(sample_rate_hz=-1.0)

@@ -1,0 +1,102 @@
+"""Gilbert-Elliott burst/shadowing channel."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlotErrorModel
+from repro.phy import GilbertElliottChannel
+
+
+@pytest.fixture()
+def channel(paper_errors):
+    return GilbertElliottChannel(good=paper_errors,
+                                 p_good_to_bad=1e-3, p_bad_to_good=1e-2)
+
+
+class TestChain:
+    def test_steady_state(self, channel):
+        assert channel.steady_state_bad_fraction == pytest.approx(
+            1e-3 / (1e-3 + 1e-2))
+
+    def test_mean_burst_length(self, channel):
+        assert channel.mean_burst_slots == pytest.approx(100.0)
+
+    def test_state_sequence_statistics(self, channel, rng):
+        states = channel.state_sequence(200_000, rng)
+        assert states.mean() == pytest.approx(
+            channel.steady_state_bad_fraction, rel=0.2)
+
+    def test_states_are_bursty(self, channel, rng):
+        states = channel.state_sequence(100_000, rng)
+        # Count transitions: a bursty process has far fewer transitions
+        # than an i.i.d. process with the same marginal.
+        transitions = int(np.sum(states[1:] != states[:-1]))
+        marginal = states.mean()
+        iid_expected = 2 * marginal * (1 - marginal) * (states.size - 1)
+        assert transitions < 0.5 * iid_expected
+
+    def test_start_state_respected(self, channel, rng):
+        states = channel.state_sequence(10, rng, start_bad=True)
+        assert states[0]
+
+    def test_empty_sequence(self, channel, rng):
+        assert channel.state_sequence(0, rng).size == 0
+
+    def test_validation(self, paper_errors):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(good=paper_errors, p_good_to_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(good=paper_errors, p_bad_to_good=1.5)
+
+
+class TestCorruption:
+    def test_shadowed_slots_flip_often(self, rng):
+        channel = GilbertElliottChannel(
+            good=SlotErrorModel.ideal(),
+            p_good_to_bad=0.05, p_bad_to_good=0.05)
+        slots = [True] * 50_000
+        corrupted, shadow = channel.corrupt(slots, rng)
+        flipped = np.asarray([a != b for a, b in zip(slots, corrupted)])
+        assert flipped[shadow].mean() == pytest.approx(0.5, abs=0.05)
+        assert flipped[~shadow].sum() == 0
+
+    def test_average_model_matches_long_run(self, rng):
+        channel = GilbertElliottChannel(
+            good=SlotErrorModel(1e-4, 1e-4),
+            p_good_to_bad=2e-3, p_bad_to_good=2e-2)
+        avg = channel.average_error_model()
+        slots = [True] * 300_000
+        corrupted, _ = channel.corrupt(slots, rng)
+        rate = sum(1 for a, b in zip(slots, corrupted) if a != b) / len(slots)
+        assert rate == pytest.approx(avg.p_on_error, rel=0.25)
+
+
+class TestBurstVsIid:
+    def test_bursts_lose_fewer_frames_than_iid(self, config, rng):
+        """Same long-run slot error rate, fewer corrupted frames: the
+        interleaving argument the module docstring makes."""
+        from repro.link import Receiver, Transmitter, corrupt_slots
+        from repro.schemes import AmppmScheme
+        from repro.link.frame import FrameError
+
+        tx, rx = Transmitter(config), Receiver(config)
+        design = AmppmScheme(config).design(0.5)
+        frame = tx.encode_frame(bytes(64), design)
+
+        channel = GilbertElliottChannel(
+            good=SlotErrorModel.ideal(),
+            p_good_to_bad=2e-4, p_bad_to_good=5e-3)
+        iid = channel.average_error_model()
+
+        def loss_rate(corruptor) -> float:
+            losses = 0
+            for _ in range(80):
+                try:
+                    rx.decode_frame(corruptor(frame))
+                except FrameError:
+                    losses += 1
+            return losses / 80
+
+        burst_losses = loss_rate(lambda f: channel.corrupt(list(f), rng)[0])
+        iid_losses = loss_rate(lambda f: corrupt_slots(list(f), iid, rng))
+        assert burst_losses <= iid_losses

@@ -1,0 +1,72 @@
+"""LED edge dynamics and the 8 us slot-time justification."""
+
+import numpy as np
+import pytest
+
+from repro.phy import LedModel
+
+
+class TestSlotTimeBound:
+    def test_paper_slot_time_settles(self):
+        # The default time constants justify t_slot = 8 us: an isolated
+        # ON slot reaches ~98% of full swing.
+        led = LedModel()
+        assert led.min_slot_time() <= 8e-6
+        assert led.settled_amplitude(8e-6) >= 0.98
+
+    def test_faster_led_allows_shorter_slots(self):
+        slow = LedModel(rise_tau_s=2e-6, fall_tau_s=2e-6)
+        fast = LedModel(rise_tau_s=0.2e-6, fall_tau_s=0.2e-6)
+        assert fast.min_slot_time() < slow.min_slot_time()
+
+
+class TestFilter:
+    def test_step_response_is_exponential(self):
+        led = LedModel(rise_tau_s=2e-6, fall_tau_s=2e-6)
+        fs = 10e6
+        drive = np.ones(200)
+        out = led.apply(drive, fs)
+        t = (np.arange(200) + 1) / fs
+        expected = 1.0 - np.exp(-t / 2e-6)
+        assert np.allclose(out, expected, atol=0.01)
+
+    def test_output_bounded_by_drive(self):
+        led = LedModel()
+        rng = np.random.default_rng(3)
+        drive = (rng.random(500) > 0.5).astype(float)
+        out = led.apply(drive, 500e3)
+        assert np.all(out >= -1e-12)
+        assert np.all(out <= 1.0 + 1e-12)
+
+    def test_short_slots_distort(self):
+        # At 4x oversampling of 8 us slots the waveform is clean; with
+        # 1 us slots the LED never settles (the paper's distortion).
+        led = LedModel()
+        pattern = np.repeat([1.0, 0.0, 1.0, 0.0, 1.0], 4)
+        clean = led.apply(pattern, 500e3)       # 2 us samples, 8 us slots
+        fast = led.apply(pattern, 4e6)          # 8x faster slots
+        assert clean.max() > 0.95
+        assert fast.max() < 0.8
+
+    def test_asymmetric_rise_fall(self):
+        led = LedModel(rise_tau_s=4e-6, fall_tau_s=1e-6)
+        fs = 500e3
+        up = led.apply(np.ones(4), fs)[-1]
+        down = 1.0 - led.apply(np.zeros(4), fs, initial=1.0)[-1]
+        assert down > up  # faster fall gets further in the same time
+
+    def test_initial_state(self):
+        led = LedModel()
+        out = led.apply(np.zeros(10), 500e3, initial=1.0)
+        assert out[0] < 1.0
+        assert out[-1] < out[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LedModel(rise_tau_s=0.0)
+        with pytest.raises(ValueError):
+            LedModel().apply(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            LedModel().min_slot_time(1.0)
+        with pytest.raises(ValueError):
+            LedModel().settled_amplitude(0.0)

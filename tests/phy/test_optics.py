@@ -1,0 +1,75 @@
+"""Lambertian propagation geometry."""
+
+import math
+
+import pytest
+
+from repro.phy import LinkGeometry, OpticalFrontEnd
+
+
+class TestLambertianOrder:
+    def test_60_degree_semi_angle_is_order_one(self):
+        fe = OpticalFrontEnd(semi_angle_deg=60.0)
+        assert fe.lambertian_order == pytest.approx(1.0)
+
+    def test_narrow_beam_high_order(self):
+        fe = OpticalFrontEnd(semi_angle_deg=15.0)
+        assert fe.lambertian_order == pytest.approx(
+            -math.log(2) / math.log(math.cos(math.radians(15))))
+        assert fe.lambertian_order > 15
+
+
+class TestChannelGain:
+    def test_inverse_square_law(self):
+        fe = OpticalFrontEnd()
+        g1 = fe.channel_gain(LinkGeometry.on_axis(1.0))
+        g2 = fe.channel_gain(LinkGeometry.on_axis(2.0))
+        assert g1 / g2 == pytest.approx(4.0)
+
+    def test_gain_decreases_off_axis(self):
+        fe = OpticalFrontEnd()
+        on = fe.channel_gain(LinkGeometry.on_arc(2.0, 0.0))
+        off = fe.channel_gain(LinkGeometry.on_arc(2.0, 10.0))
+        assert off < on
+
+    def test_fov_cutoff(self):
+        fe = OpticalFrontEnd(rx_fov_deg=30.0)
+        inside = fe.channel_gain(LinkGeometry(2.0, 0.0, 29.0))
+        outside = fe.channel_gain(LinkGeometry(2.0, 0.0, 31.0))
+        assert inside > 0.0
+        assert outside == 0.0
+
+    def test_cosine_receiver_factor(self):
+        fe = OpticalFrontEnd(semi_angle_deg=60.0)
+        on = fe.channel_gain(LinkGeometry(2.0, 0.0, 0.0))
+        tilted = fe.channel_gain(LinkGeometry(2.0, 0.0, 60.0))
+        assert tilted / on == pytest.approx(math.cos(math.radians(60.0)),
+                                            rel=1e-9)
+
+    def test_received_power_scales_with_tx_power(self):
+        geometry = LinkGeometry.on_axis(3.0)
+        weak = OpticalFrontEnd(tx_power_w=1.0).received_power_w(geometry)
+        strong = OpticalFrontEnd(tx_power_w=4.7).received_power_w(geometry)
+        assert strong / weak == pytest.approx(4.7)
+
+
+class TestGeometry:
+    def test_on_arc_couples_angles(self):
+        g = LinkGeometry.on_arc(2.3, 12.0)
+        assert g.irradiance_angle_deg == g.incidence_angle_deg == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkGeometry(0.0)
+        with pytest.raises(ValueError):
+            LinkGeometry(1.0, 90.0)
+        with pytest.raises(ValueError):
+            LinkGeometry(1.0, 0.0, -5.0)
+
+    def test_front_end_validation(self):
+        with pytest.raises(ValueError):
+            OpticalFrontEnd(tx_power_w=0.0)
+        with pytest.raises(ValueError):
+            OpticalFrontEnd(semi_angle_deg=90.0)
+        with pytest.raises(ValueError):
+            OpticalFrontEnd(rx_area_m2=-1.0)

@@ -1,0 +1,60 @@
+"""Photodiode responsivity and calibrated noise."""
+
+import numpy as np
+import pytest
+
+from repro.phy import PhotodiodeModel
+
+
+class TestConversion:
+    def test_responsivity(self):
+        pd = PhotodiodeModel(responsivity_a_per_w=0.62)
+        assert pd.signal_current(1e-6) == pytest.approx(0.62e-6)
+
+    def test_ambient_pedestal(self):
+        pd = PhotodiodeModel(ambient_full_current_a=5e-6)
+        assert pd.ambient_current(0.5) == pytest.approx(2.5e-6)
+        assert pd.ambient_current(0.0) == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PhotodiodeModel().signal_current(-1.0)
+
+
+class TestNoise:
+    def test_noise_grows_with_ambient(self):
+        pd = PhotodiodeModel(thermal_noise_a=1e-8, ambient_noise_gain=1e-8)
+        assert pd.noise_sigma(1.0) > pd.noise_sigma(0.0)
+
+    def test_thermal_floor(self):
+        pd = PhotodiodeModel(thermal_noise_a=1e-8, ambient_noise_gain=1e-8)
+        assert pd.noise_sigma(0.0) == pytest.approx(1e-8)
+
+    def test_ambient_range_validated(self):
+        with pytest.raises(ValueError):
+            PhotodiodeModel().noise_sigma(1.5)
+        with pytest.raises(ValueError):
+            PhotodiodeModel().ambient_current(-0.1)
+
+
+class TestReceive:
+    def test_statistics_match_model(self, rng):
+        pd = PhotodiodeModel(thermal_noise_a=1e-8, ambient_noise_gain=0.0,
+                             ambient_full_current_a=5e-6)
+        waveform = np.full(200_000, 2e-6)
+        out = pd.receive(waveform, ambient=0.4, rng=rng)
+        expected_mean = 0.62 * 2e-6 + 0.4 * 5e-6
+        assert out.mean() == pytest.approx(expected_mean, rel=1e-3)
+        assert out.std() == pytest.approx(1e-8, rel=0.02)
+
+    def test_noiseless_is_deterministic(self, rng):
+        pd = PhotodiodeModel(thermal_noise_a=0.0, ambient_noise_gain=0.0)
+        waveform = np.linspace(0.0, 1e-6, 32)
+        out = pd.receive(waveform, ambient=0.0, rng=rng)
+        assert np.allclose(out, 0.62 * waveform)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhotodiodeModel(responsivity_a_per_w=0.0)
+        with pytest.raises(ValueError):
+            PhotodiodeModel(thermal_noise_a=-1.0)

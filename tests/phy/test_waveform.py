@@ -1,0 +1,103 @@
+"""Waveform synthesis and slot recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig
+from repro.phy import (
+    LedModel,
+    LinkGeometry,
+    SlotSampler,
+    WaveformSynthesizer,
+    calibrated_channel,
+)
+
+
+SLOTS = [True, False, True, True, False, False, True, False]
+
+
+class TestSynthesis:
+    def test_drive_waveform_oversamples(self, config):
+        synth = WaveformSynthesizer(config)
+        drive = synth.drive_waveform(SLOTS)
+        assert drive.size == len(SLOTS) * config.oversampling
+        assert set(np.unique(drive)) <= {0.0, 1.0}
+
+    def test_emitted_waveform_is_filtered(self, config):
+        synth = WaveformSynthesizer(config)
+        light = synth.emitted_waveform(SLOTS)
+        assert light.max() <= 1.0
+        assert 0.9 < light.max()  # settles within a slot
+        # The first sample of an ON slot is below the settled value.
+        assert light[0] < light[config.oversampling - 1]
+
+    def test_received_samples_have_ambient_pedestal(self, config, channel, rng):
+        synth = WaveformSynthesizer(config)
+        samples = synth.received_samples(
+            [False] * 32, channel, LinkGeometry.on_axis(3.0), 0.8, rng)
+        pedestal = channel.photodiode.ambient_current(0.8)
+        assert samples.mean() == pytest.approx(pedestal, rel=0.05)
+
+
+class TestSlotSampler:
+    def _samples(self, config, amplitude=1.0):
+        synth = WaveformSynthesizer(config, led=LedModel(1e-7, 1e-7))
+        return amplitude * synth.drive_waveform(SLOTS)
+
+    def test_recovers_clean_slots(self, config):
+        sampler = SlotSampler(config)
+        samples = self._samples(config)
+        assert sampler.decide(samples, len(SLOTS)) == SLOTS
+
+    def test_offset_alignment(self, config):
+        sampler = SlotSampler(config)
+        samples = np.concatenate([np.zeros(7), self._samples(config)])
+        got = sampler.decide(samples, len(SLOTS), offset=7)
+        assert got == SLOTS
+
+    def test_survives_moderate_noise(self, config, rng):
+        sampler = SlotSampler(config)
+        samples = self._samples(config) + rng.normal(0, 0.15,
+                                                     len(SLOTS) * 4)
+        assert sampler.decide(samples, len(SLOTS)) == SLOTS
+
+    def test_explicit_threshold(self, config):
+        sampler = SlotSampler(config)
+        samples = self._samples(config, amplitude=2.0)
+        assert sampler.decide(samples, len(SLOTS), threshold=1.0) == SLOTS
+
+    def test_insufficient_samples_rejected(self, config):
+        sampler = SlotSampler(config)
+        with pytest.raises(ValueError):
+            sampler.slot_means(np.zeros(10), 8)
+
+    def test_empty_threshold_rejected(self, config):
+        sampler = SlotSampler(config)
+        with pytest.raises(ValueError):
+            sampler.threshold(np.array([]))
+
+    def test_guard_fraction_validation(self, config):
+        with pytest.raises(ValueError):
+            SlotSampler(config, guard_fraction=0.0)
+
+
+class TestEndToEndConsistency:
+    def test_waveform_ser_small_at_short_range(self, config, rng):
+        """The waveform pipeline agrees with the analytic model's
+        regime: essentially error-free at 2 m, broken at 7 m."""
+        channel = calibrated_channel(config)
+        synth = WaveformSynthesizer(config)
+        sampler = SlotSampler(config)
+        slots = [bool((i * 7) % 3) for i in range(400)]
+
+        near = synth.received_samples(slots, channel,
+                                      LinkGeometry.on_axis(2.0), 1.0, rng)
+        errors_near = sum(a != b for a, b in
+                          zip(slots, sampler.decide(near, len(slots))))
+        assert errors_near == 0
+
+        far = synth.received_samples(slots, channel,
+                                     LinkGeometry.on_axis(7.0), 1.0, rng)
+        errors_far = sum(a != b for a, b in
+                         zip(slots, sampler.decide(far, len(slots))))
+        assert errors_far > 0

@@ -1,0 +1,82 @@
+"""CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.sim import FigureResult, Series, TableResult
+from repro.sim.export import (
+    figure_to_rows,
+    result_to_json,
+    write_figure_csv,
+    write_json,
+    write_table_csv,
+)
+
+
+@pytest.fixture()
+def figure():
+    return FigureResult(
+        figure_id="figX", title="t", x_label="x", y_label="y",
+        series=(Series("a", (0.0, 1.0), (2.0, 3.0)),
+                Series("b", (0.0,), (5.0,))),
+        notes="n")
+
+
+@pytest.fixture()
+def table():
+    return TableResult("tabX", "t", ("c1", "c2"), (("1", "2"), ("3", "4")))
+
+
+class TestCsv:
+    def test_figure_long_form(self, figure, tmp_path):
+        path = write_figure_csv(figure, tmp_path / "fig.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0] == {"figure": "figX", "series": "a",
+                           "x": "0.0", "y": "2.0"}
+        assert rows[2]["series"] == "b"
+
+    def test_table_csv(self, table, tmp_path):
+        path = write_table_csv(table, tmp_path / "tab.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["c1", "c2"], ["1", "2"], ["3", "4"]]
+
+    def test_rows_helper(self, figure):
+        rows = figure_to_rows(figure)
+        assert all(set(r) == {"figure", "series", "x", "y"} for r in rows)
+
+
+class TestJson:
+    def test_figure_roundtrip(self, figure):
+        payload = json.loads(result_to_json(figure))
+        assert payload["kind"] == "figure"
+        assert payload["series"][0]["y"] == [2.0, 3.0]
+        assert payload["x_label"] == "x"
+
+    def test_table_roundtrip(self, table):
+        payload = json.loads(result_to_json(table))
+        assert payload["kind"] == "table"
+        assert payload["rows"] == [["1", "2"], ["3", "4"]]
+
+    def test_write_json(self, figure, tmp_path):
+        path = write_json(figure, tmp_path / "fig.json")
+        assert json.loads(path.read_text())["id"] == "figX"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_json(object())  # type: ignore[arg-type]
+
+
+class TestRealExperiments:
+    def test_every_experiment_exports(self, tmp_path):
+        from repro.experiments import experiment_ids, run_experiment
+
+        for experiment_id in ("fig04", "table2-direct"):
+            result = run_experiment(experiment_id)
+            path = write_json(result, tmp_path / f"{experiment_id}.json")
+            payload = json.loads(path.read_text())
+            assert payload["id"].startswith(experiment_id.split("-")[0])

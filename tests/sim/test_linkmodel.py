@@ -1,0 +1,86 @@
+"""The analytic link model used by the figure harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlotErrorModel, SystemConfig
+from repro.link import StopAndWaitMac, Transmitter
+from repro.phy import LinkGeometry
+from repro.schemes import AmppmScheme, OokCt
+from repro.sim import (
+    LinkEvaluator,
+    expected_goodput,
+    frame_slot_count,
+    frame_success_probability,
+    stop_and_wait_goodput,
+)
+
+
+class TestFrameAccounting:
+    def test_slot_count_matches_real_frame(self, config):
+        # The analytic count must match an actual encoded frame for a
+        # deterministic-length scheme (AMPPM).
+        design = AmppmScheme(config).design(0.5)
+        tx = Transmitter(config)
+        actual = len(tx.encode_frame(bytes(config.payload_bytes), design))
+        predicted = frame_slot_count(design, config)
+        assert predicted == actual
+
+    def test_success_probability_bounds(self, config, paper_errors):
+        design = AmppmScheme(config).design(0.3)
+        p = frame_success_probability(design, paper_errors, config)
+        assert 0.0 < p < 1.0
+        assert frame_success_probability(
+            design, SlotErrorModel.ideal(), config) == 1.0
+
+
+class TestGoodput:
+    def test_ideal_goodput_is_rate_times_payload_fraction(self, config):
+        design = AmppmScheme(config).design(0.5)
+        goodput = expected_goodput(design, SlotErrorModel.ideal(), config)
+        slots = frame_slot_count(design, config)
+        assert goodput == pytest.approx(
+            8 * config.payload_bytes / (slots * config.t_slot))
+
+    def test_stop_and_wait_is_slower(self, config, paper_errors):
+        design = AmppmScheme(config).design(0.5)
+        assert stop_and_wait_goodput(design, paper_errors, config) < \
+            expected_goodput(design, paper_errors, config)
+
+    def test_goodput_monotone_in_errors(self, config):
+        design = AmppmScheme(config).design(0.5)
+        clean = expected_goodput(design, SlotErrorModel(1e-6, 1e-6), config)
+        dirty = expected_goodput(design, SlotErrorModel(1e-3, 1e-3), config)
+        assert dirty < clean
+
+
+class TestLinkEvaluator:
+    def test_errors_from_geometry(self, config):
+        near = LinkEvaluator(config=config, geometry=LinkGeometry.on_axis(1.0))
+        far = LinkEvaluator(config=config, geometry=LinkGeometry.on_axis(4.5))
+        assert near.errors.p_off_error < far.errors.p_off_error
+
+    def test_at_rebinds_geometry(self, config):
+        base = LinkEvaluator(config=config)
+        moved = base.at(LinkGeometry.on_axis(4.8))
+        assert moved.errors.p_off_error > base.errors.p_off_error
+        assert moved.channel is base.channel
+
+    def test_throughput_positive_in_range(self, config):
+        evaluator = LinkEvaluator(config=config)
+        scheme = AmppmScheme(config)
+        for level in (0.1, 0.5, 0.9):
+            assert evaluator.throughput_bps(scheme, level) > 0
+
+    def test_throughput_dies_out_of_range(self, config):
+        evaluator = LinkEvaluator(config=config,
+                                  geometry=LinkGeometry.on_axis(6.0))
+        scheme = OokCt(config)
+        mid = LinkEvaluator(config=config).throughput_bps(scheme, 0.5)
+        assert evaluator.throughput_bps(scheme, 0.5) < 0.05 * mid
+
+    def test_paper_scale_at_3m(self, config):
+        # Fig. 15's absolute scale: AMPPM ≈ 100 kbps at l = 0.5.
+        evaluator = LinkEvaluator(config=config)
+        kbps = evaluator.throughput_bps(AmppmScheme(config), 0.5) / 1e3
+        assert 85 <= kbps <= 120

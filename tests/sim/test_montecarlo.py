@@ -1,0 +1,85 @@
+"""Monte-Carlo validation of the analytic error models."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlotErrorModel, SymbolPattern, SystemConfig
+from repro.schemes import AmppmScheme
+from repro.sim.montecarlo import MonteCarloValidator
+
+
+@pytest.fixture(scope="module")
+def validator():
+    return MonteCarloValidator(SystemConfig())
+
+
+class TestEq3Validation:
+    def test_measured_ser_matches_analytic(self, validator):
+        # A deliberately noisy channel so the estimate converges fast.
+        errors = SlotErrorModel(2e-3, 2e-3)
+        rng = np.random.default_rng(1)
+        estimate = validator.symbol_error_rate(
+            SymbolPattern(30, 15), errors, rng, n_symbols=4000)
+        assert estimate.consistent_with_analytic()
+        assert estimate.measured_ser > 0
+
+    def test_clean_channel_no_errors(self, validator):
+        rng = np.random.default_rng(2)
+        estimate = validator.symbol_error_rate(
+            SymbolPattern(20, 10), SlotErrorModel.ideal(), rng,
+            n_symbols=200)
+        assert estimate.n_errors == 0
+        assert estimate.measured_ser == 0.0
+
+    def test_most_errors_are_detected(self, validator):
+        # Single flips break the codeword weight, so the overwhelming
+        # majority of symbol errors are detectable without the CRC.
+        errors = SlotErrorModel(3e-3, 3e-3)
+        rng = np.random.default_rng(3)
+        estimate = validator.symbol_error_rate(
+            SymbolPattern(30, 15), errors, rng, n_symbols=4000)
+        assert estimate.n_undetected <= 0.2 * max(estimate.n_errors, 1)
+
+    def test_aliasing_exists_under_heavy_noise(self, validator):
+        # With brutal noise, compensating flips do alias — the reason
+        # frames still need a CRC.
+        errors = SlotErrorModel(0.08, 0.08)
+        rng = np.random.default_rng(4)
+        estimate = validator.symbol_error_rate(
+            SymbolPattern(20, 10), errors, rng, n_symbols=1500)
+        assert estimate.n_undetected > 0
+
+    def test_validation_args(self, validator):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            validator.symbol_error_rate(SymbolPattern(10, 5),
+                                        SlotErrorModel.ideal(), rng,
+                                        n_symbols=0)
+
+
+class TestFrameLossValidation:
+    def test_measured_matches_analytic(self, validator):
+        config = SystemConfig()
+        design = AmppmScheme(config).design(0.5)
+        errors = SlotErrorModel(2e-4, 2e-4)
+        rng = np.random.default_rng(6)
+        measured, analytic = validator.frame_loss_rate(
+            design, errors, rng, n_frames=300)
+        std = (analytic * (1 - analytic) / 300) ** 0.5
+        assert abs(measured - analytic) <= 4 * std + 0.02
+
+    def test_clean_channel_lossless(self, validator):
+        config = SystemConfig()
+        design = AmppmScheme(config).design(0.3)
+        rng = np.random.default_rng(7)
+        measured, analytic = validator.frame_loss_rate(
+            design, SlotErrorModel.ideal(), rng, n_frames=10)
+        assert measured == 0.0
+        assert analytic == 0.0
+
+    def test_args_validated(self, validator):
+        config = SystemConfig()
+        design = AmppmScheme(config).design(0.3)
+        with pytest.raises(ValueError):
+            validator.frame_loss_rate(design, SlotErrorModel.ideal(),
+                                      np.random.default_rng(0), n_frames=0)

@@ -1,0 +1,99 @@
+"""Result containers and text rendering."""
+
+import pytest
+
+from repro.sim import (
+    ExperimentRegistry,
+    FigureResult,
+    Series,
+    TableResult,
+    ascii_plot,
+    format_table,
+)
+
+
+def _figure():
+    return FigureResult(
+        figure_id="figX",
+        title="demo",
+        x_label="x",
+        y_label="y",
+        series=(Series("a", (0.0, 1.0), (1.0, 2.0)),
+                Series("b", (0.0, 1.0), (2.0, 1.0))),
+        notes="a note",
+    )
+
+
+class TestSeries:
+    def test_value_at(self):
+        s = Series("a", (0.1, 0.2), (5.0, 6.0))
+        assert s.value_at(0.2) == 6.0
+        with pytest.raises(KeyError):
+            s.value_at(0.3)
+
+    def test_extremes(self):
+        s = Series("a", (0.0, 1.0, 2.0), (3.0, -1.0, 2.0))
+        assert s.y_max == 3.0
+        assert s.y_min == -1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("a", (1.0,), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            Series("a", (), ())
+
+
+class TestFigureResult:
+    def test_get_by_name(self):
+        fig = _figure()
+        assert fig.get("b").y_max == 2.0
+        with pytest.raises(KeyError):
+            fig.get("missing")
+
+    def test_render_contains_everything(self):
+        text = _figure().render(width=30, height=6)
+        assert "figX" in text
+        assert "legend" in text
+        assert "a note" in text
+        assert "demo" in text
+
+
+class TestTableResult:
+    def test_render(self):
+        table = TableResult("t1", "title", ("a", "b"),
+                            (("1", "2"), ("3", "4")), notes="n")
+        text = table.render()
+        assert "t1" in text
+        assert "3" in text
+        assert "n" in text
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["col", "x"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_ascii_plot_flat_series(self):
+        # A constant series must not divide by zero.
+        text = ascii_plot([Series("flat", (0.0, 1.0), (5.0, 5.0))],
+                          width=20, height=5)
+        assert "flat" in text
+
+
+class TestRegistry:
+    def test_register_and_run(self):
+        registry = ExperimentRegistry()
+        registry.register("demo", lambda scale=1: scale * 2)
+        assert registry.run("demo", scale=3) == 6
+        assert registry.ids() == ["demo"]
+
+    def test_duplicate_rejected(self):
+        registry = ExperimentRegistry()
+        registry.register("demo", lambda: None)
+        with pytest.raises(ValueError):
+            registry.register("demo", lambda: None)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            ExperimentRegistry().run("nope")

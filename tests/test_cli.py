@@ -1,0 +1,79 @@
+"""The ``python -m repro`` command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_ids(self):
+        code, text = run_cli("list")
+        assert code == 0
+        ids = text.split()
+        assert "fig15" in ids
+        assert "headline" in ids
+        assert len(ids) >= 14
+
+
+class TestRun:
+    def test_single_experiment(self):
+        code, text = run_cli("run", "fig04")
+        assert code == 0
+        assert "PSER" in text
+
+    def test_multiple_experiments(self):
+        code, text = run_cli("run", "fig04", "table2-direct")
+        assert code == 0
+        assert "fig04" in text
+        assert "table2-direct" in text
+
+    def test_unknown_id_fails(self, capsys):
+        code, _ = run_cli("run", "fig99")
+        assert code == 2
+
+    def test_csv_export(self, tmp_path):
+        code, text = run_cli("run", "fig04", "--csv", str(tmp_path))
+        assert code == 0
+        assert (tmp_path / "fig04.csv").exists()
+        assert "[csv]" in text
+
+    def test_json_export(self, tmp_path):
+        code, _ = run_cli("run", "table2-direct", "--json", str(tmp_path))
+        assert code == 0
+        payload = json.loads((tmp_path / "table2-direct.json").read_text())
+        assert payload["kind"] == "table"
+
+
+class TestDesign:
+    def test_valid_level(self):
+        code, text = run_cli("design", "0.35")
+        assert code == 0
+        assert "super-symbol" in text
+        assert "kbps" in text
+
+    def test_out_of_range(self):
+        code, _ = run_cli("design", "0.001")
+        assert code == 2
+
+
+class TestInfo:
+    def test_shows_configuration(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "125 kHz" in text
+        assert "candidates" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
