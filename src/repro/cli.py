@@ -5,7 +5,7 @@ Commands:
 * ``list`` — show every registered experiment id.
 * ``run <id> [...]`` — regenerate experiments and render them as text;
   ``--csv DIR`` / ``--json DIR`` additionally export machine-readable
-  files.
+  files, ``--jobs N`` fans sweep grids across worker processes.
 * ``design <dimming>`` — ask the AMPPM designer for the best
   super-symbol at a dimming level and print its properties.
 * ``info`` — the active configuration and derived constants.
@@ -41,6 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export CSV files into DIR")
     run_cmd.add_argument("--json", metavar="DIR", default=None,
                          help="also export JSON files into DIR")
+    run_cmd.add_argument("--jobs", metavar="N", type=int, default=None,
+                         help="fan sweep grids across up to N worker "
+                              "processes (default: in-process)")
 
     design_cmd = sub.add_parser("design",
                                 help="design a super-symbol for a dimming level")
@@ -58,14 +61,18 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_run(ids: Sequence[str], csv_dir: str | None, json_dir: str | None,
-             out) -> int:
+             out, jobs: int | None = None) -> int:
     requested = list(ids) or experiment_ids()
     unknown = sorted(set(requested) - set(experiment_ids()))
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    if jobs is not None and jobs < 1:
+        print(f"--jobs must be a positive integer, got {jobs}",
+              file=sys.stderr)
+        return 2
     for experiment_id in requested:
-        result = run_experiment(experiment_id)
+        result = run_experiment(experiment_id, jobs=jobs)
         print("=" * 72, file=out)
         print(result.render(), file=out)
         if csv_dir is not None:
@@ -131,7 +138,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
-        return _cmd_run(args.ids, args.csv, args.json, out)
+        return _cmd_run(args.ids, args.csv, args.json, out, jobs=args.jobs)
     if args.command == "design":
         return _cmd_design(args.dimming, out)
     if args.command == "info":

@@ -6,9 +6,15 @@ shadowed-time fraction of a Gilbert-Elliott process and compares frame
 loss against an i.i.d. channel with the *same* long-run slot error
 rate: bursts concentrate damage into fewer frames, so the bursty curve
 sits below the i.i.d. one everywhere.
+
+Each shadow fraction is an independent grid point with its own spawned
+random stream (see :mod:`repro.sim.sweep`), so results are identical
+whether the sweep runs serially or across worker processes.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -21,22 +27,32 @@ from ..link.transmitter import Transmitter
 from ..phy.burst import GilbertElliottChannel
 from ..schemes import AmppmScheme
 from ..sim.results import FigureResult, Series
+from ..sim.sweep import SweepRunner
 from .registry import register
 
 SHADOW_FRACTIONS = (0.002, 0.005, 0.01, 0.02, 0.05)
 
 
-@register("ext-burst")
-def run(config: SystemConfig | None = None,
-        fractions: tuple[float, ...] = SHADOW_FRACTIONS,
-        trials: int = 60, seed: int = 7,
-        mean_burst_slots: float = 250.0) -> FigureResult:
-    """Frame loss vs shadowed-time fraction, bursty vs i.i.d."""
-    config = config if config is not None else SystemConfig()
+@lru_cache(maxsize=8)
+def _frame_for(config: SystemConfig) -> tuple[list, Receiver]:
+    """Encoded test frame + receiver, built once per (process, config)."""
     design = AmppmScheme(config).design(0.5)
-    tx, rx = Transmitter(config), Receiver(config)
-    frame = tx.encode_frame(bytes(range(64)), design)
-    rng = np.random.default_rng(seed)
+    frame = Transmitter(config).encode_frame(bytes(range(64)), design)
+    return frame, Receiver(config)
+
+
+def _losses_at_fraction(point: tuple,
+                        rng: np.random.Generator) -> tuple[float, float]:
+    """(bursty, iid) frame loss at one shadowed-time fraction."""
+    config, fraction, trials, mean_burst_slots = point
+    frame, rx = _frame_for(config)
+
+    p_recover = 1.0 / mean_burst_slots
+    p_block = fraction * p_recover / (1.0 - fraction)
+    channel = GilbertElliottChannel(
+        good=SlotErrorModel.from_config(config),
+        p_good_to_bad=p_block, p_bad_to_good=p_recover)
+    average = channel.average_error_model()
 
     def loss(corruptor) -> float:
         failures = 0
@@ -47,16 +63,23 @@ def run(config: SystemConfig | None = None,
                 failures += 1
         return failures / trials
 
-    bursty, iid = [], []
-    for fraction in fractions:
-        p_recover = 1.0 / mean_burst_slots
-        p_block = fraction * p_recover / (1.0 - fraction)
-        channel = GilbertElliottChannel(
-            good=SlotErrorModel.from_config(config),
-            p_good_to_bad=p_block, p_bad_to_good=p_recover)
-        average = channel.average_error_model()
-        bursty.append(loss(lambda f: channel.corrupt(f, rng)[0]))
-        iid.append(loss(lambda f: corrupt_slots(f, average, rng)))
+    return (loss(lambda f: channel.corrupt(f, rng)[0]),
+            loss(lambda f: corrupt_slots(f, average, rng)))
+
+
+@register("ext-burst")
+def run(config: SystemConfig | None = None,
+        fractions: tuple[float, ...] = SHADOW_FRACTIONS,
+        trials: int = 60, seed: int = 7,
+        mean_burst_slots: float = 250.0,
+        jobs: int | None = None) -> FigureResult:
+    """Frame loss vs shadowed-time fraction, bursty vs i.i.d."""
+    config = config if config is not None else SystemConfig()
+    points = [(config, fraction, trials, mean_burst_slots)
+              for fraction in fractions]
+    results = SweepRunner(jobs).map(_losses_at_fraction, points, seed=seed)
+    bursty = tuple(b for b, _ in results)
+    iid = tuple(i for _, i in results)
 
     return FigureResult(
         figure_id="ext-burst",
@@ -64,8 +87,8 @@ def run(config: SystemConfig | None = None,
         x_label="fraction of time shadowed",
         y_label="frame loss rate",
         series=(
-            Series("bursty (Gilbert-Elliott)", fractions, tuple(bursty)),
-            Series("iid, same avg error rate", fractions, tuple(iid)),
+            Series("bursty (Gilbert-Elliott)", fractions, bursty),
+            Series("iid, same avg error rate", fractions, iid),
         ),
         notes=f"mean burst {mean_burst_slots * config.t_slot * 1e3:.0f} ms, "
               f"{trials} frames per point",

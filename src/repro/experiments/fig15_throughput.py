@@ -13,33 +13,55 @@ The headline comparison: 17 dimming levels from 0.1 to 0.9, receiver at
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..core.params import SystemConfig
 from ..phy.optics import LinkGeometry
-from ..schemes import standard_schemes
+from ..schemes import AmppmScheme, Mppm, OokCt, standard_schemes
 from ..sim.linkmodel import LinkEvaluator
 from ..sim.results import FigureResult, Series
+from ..sim.sweep import SweepRunner
 from .registry import register
 
 #: "17 discrete dimming levels ... ranging from 0.1 to 0.9"
 DIMMING_LEVELS = tuple(float(l) for l in np.linspace(0.1, 0.9, 17).round(4))
 
+#: series order, matching :func:`repro.schemes.standard_schemes`
+SCHEME_NAMES = (AmppmScheme.name, OokCt.name, Mppm.name)
+
+
+@lru_cache(maxsize=8)
+def _bound_evaluator(config: SystemConfig, distance_m: float,
+                     ambient: float) -> tuple[LinkEvaluator, tuple]:
+    """Evaluator + schemes, built once per (process, operating point)."""
+    evaluator = LinkEvaluator(config=config,
+                              geometry=LinkGeometry.on_axis(distance_m),
+                              ambient=ambient)
+    return evaluator, tuple(standard_schemes(config))
+
+
+def _rates_at_level(point: tuple) -> tuple[float, ...]:
+    """All three schemes' throughput (Kbps) at one dimming level."""
+    config, distance_m, ambient, level = point
+    evaluator, schemes = _bound_evaluator(config, distance_m, ambient)
+    return tuple(evaluator.throughput_bps(scheme, level) / 1e3
+                 for scheme in schemes)
+
 
 @register("fig15")
 def run(config: SystemConfig | None = None,
         distance_m: float = 3.0, ambient: float = 1.0,
-        levels: tuple[float, ...] = DIMMING_LEVELS) -> FigureResult:
+        levels: tuple[float, ...] = DIMMING_LEVELS,
+        jobs: int | None = None) -> FigureResult:
     """Throughput of the three schemes across dimming levels."""
     config = config if config is not None else SystemConfig()
-    evaluator = LinkEvaluator(config=config,
-                              geometry=LinkGeometry.on_axis(distance_m),
-                              ambient=ambient)
-    series = []
-    for scheme in standard_schemes(config):
-        rates = tuple(evaluator.throughput_bps(scheme, level) / 1e3
-                      for level in levels)
-        series.append(Series(scheme.name, levels, rates))
+    rates = SweepRunner(jobs).map(
+        _rates_at_level,
+        [(config, distance_m, ambient, level) for level in levels])
+    series = [Series(name, levels, tuple(point[i] for point in rates))
+              for i, name in enumerate(SCHEME_NAMES)]
     ampem, ookct, mppm = series
 
     gains_ook = [a / o - 1.0 for a, o in zip(ampem.y, ookct.y)]

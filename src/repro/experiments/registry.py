@@ -8,6 +8,8 @@ artefact of the paper.
 
 from __future__ import annotations
 
+import inspect
+
 from ..sim.results import ExperimentRegistry
 
 REGISTRY = ExperimentRegistry()
@@ -23,11 +25,26 @@ def register(experiment_id: str):
     return wrap
 
 
-def run_experiment(experiment_id: str, **kwargs):
-    """Run one experiment by id (see :func:`experiment_ids`)."""
+def _accepts_jobs(func) -> bool:
+    params = inspect.signature(func).parameters
+    return ("jobs" in params
+            or any(p.kind is inspect.Parameter.VAR_KEYWORD
+                   for p in params.values()))
+
+
+def run_experiment(experiment_id: str, jobs: int | None = None, **kwargs):
+    """Run one experiment by id (see :func:`experiment_ids`).
+
+    ``jobs`` caps the worker-process count for runners that sweep their
+    grid through :class:`~repro.sim.sweep.SweepRunner`; runners whose
+    signature does not accept it (cheap single-point tables) silently
+    ignore it.
+    """
     # Importing the package registers all runners.
     from . import ALL_EXPERIMENTS  # noqa: F401
 
+    if jobs is not None and _accepts_jobs(REGISTRY.get(experiment_id)):
+        kwargs["jobs"] = jobs
     return REGISTRY.run(experiment_id, **kwargs)
 
 

@@ -47,6 +47,26 @@ class WaveformSynthesizer:
         drive = self.drive_waveform(slots)
         return self.led.apply(drive, self.config.sample_rate, initial=initial)
 
+    def default_adc(self, channel: VlcChannel, geometry: LinkGeometry,
+                    ambient: float) -> AdcModel:
+        """An ADC whose full scale spans the *actual* operating point.
+
+        The span covers the ambient pedestal plus the signal swing the
+        given geometry really delivers, with margin for noise peaks —
+        previously the span was hardcoded to a 0.5 m / full-ambient
+        link, so at shorter range (or brighter ambient) the ADC
+        silently clipped the top of the signal.
+        """
+        pd = channel.photodiode
+        span = (pd.ambient_current(ambient)
+                + pd.signal_current(channel.optics.received_power_w(geometry)))
+        span = 1.05 * span + 8.0 * pd.noise_sigma(ambient)
+        if span <= 0.0:
+            # Degenerate dark/blocked link: any positive scale works.
+            span = pd.ambient_current(1.0) or 1.0e-6
+        return AdcModel(bits=self.config.adc_bits, full_scale=span,
+                        sample_rate_hz=self.config.sample_rate)
+
     def received_samples(self, slots: Sequence[bool], channel: VlcChannel,
                          geometry: LinkGeometry, ambient: float,
                          rng: np.random.Generator,
@@ -60,14 +80,31 @@ class WaveformSynthesizer:
         optical_power = light * channel.optics.received_power_w(geometry)
         current = channel.photodiode.receive(optical_power, ambient, rng)
         if adc is None:
-            # Scale the ADC full range to the expected signal span so
-            # quantisation noise stays small relative to the swing.
-            span = (channel.photodiode.ambient_current(1.0)
-                    + channel.photodiode.signal_current(
-                        channel.optics.received_power_w(
-                            LinkGeometry.on_axis(0.5))))
-            adc = AdcModel(bits=self.config.adc_bits, full_scale=span,
-                           sample_rate_hz=self.config.sample_rate)
+            adc = self.default_adc(channel, geometry, ambient)
+        return adc.convert(current)
+
+    def received_samples_batch(self, slots: Sequence[bool],
+                               channel: VlcChannel, geometry: LinkGeometry,
+                               ambient: float, rng: np.random.Generator,
+                               n_copies: int,
+                               adc: AdcModel | None = None) -> np.ndarray:
+        """``n_copies`` independent noisy receptions of the same frame.
+
+        The deterministic part of the chain (LED edge filter, optics,
+        ambient pedestal) is synthesised once; only the noise is drawn
+        per copy, as an ``(n_copies, n_samples)`` matrix.  Row ``i``
+        consumes exactly the draws the ``i``-th sequential
+        :meth:`received_samples` call would, so batch and scalar runs
+        agree sample-for-sample under a shared seed.
+        """
+        if n_copies < 1:
+            raise ValueError("n_copies must be positive")
+        light = self.emitted_waveform(slots)
+        optical_power = light * channel.optics.received_power_w(geometry)
+        current = channel.photodiode.receive_batch(
+            optical_power, ambient, rng, n_copies)
+        if adc is None:
+            adc = self.default_adc(channel, geometry, ambient)
         return adc.convert(current)
 
 
@@ -76,16 +113,28 @@ class SlotSampler:
     """RX-side slot recovery from an aligned sample stream."""
 
     config: SystemConfig = field(default_factory=SystemConfig)
-    #: fraction of each slot's samples kept, centred, to dodge edges
+    #: fraction of each slot's samples kept, to dodge the slot edges
     guard_fraction: float = 0.5
+    #: samples the kept window is shifted towards the slot's tail, where
+    #: the LED has settled; clamped so the window stays inside the slot
+    #: (so with ``guard_fraction=1.0`` the shift is necessarily a no-op).
+    #: 0 keeps the window truly centred.
+    tail_bias: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.guard_fraction <= 1.0:
             raise ValueError("guard_fraction must lie in (0, 1]")
+        if self.tail_bias < 0:
+            raise ValueError("tail_bias must be non-negative")
 
     def slot_means(self, samples: np.ndarray, n_slots: int,
                    offset: int = 0) -> np.ndarray:
-        """Per-slot mean of the centre samples, starting at ``offset``."""
+        """Per-slot mean of each slot's kept window, starting at ``offset``.
+
+        The window holds the ``guard_fraction`` middle samples of the
+        slot, shifted ``tail_bias`` samples towards the tail (clamped to
+        the slot boundary).
+        """
         per_slot = self.config.oversampling
         needed = offset + n_slots * per_slot
         samples = np.asarray(samples, dtype=float)
@@ -96,9 +145,7 @@ class SlotSampler:
         window = samples[offset:needed].reshape(n_slots, per_slot)
         keep = max(1, int(round(per_slot * self.guard_fraction)))
         start = (per_slot - keep) // 2
-        # Bias the kept window towards the slot's tail, where the LED
-        # has settled; a centre cut works too but the tail is cleaner.
-        start = min(per_slot - keep, start + 1)
+        start = min(per_slot - keep, start + self.tail_bias)
         return window[:, start:start + keep].mean(axis=1)
 
     def threshold(self, means: np.ndarray) -> float:

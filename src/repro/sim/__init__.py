@@ -1,5 +1,6 @@
 """Simulation drivers: analytic link model, dynamic scenario, waveform path."""
 
+from .batch import BatchCodec, BatchMonteCarloValidator, corrupt_batch
 from .dynamic import DynamicRunResult, DynamicScenario, DynamicTick
 from .endtoend import EndToEndLink, EndToEndReport
 from .export import (
@@ -16,7 +17,7 @@ from .linkmodel import (
     frame_success_probability,
     stop_and_wait_goodput,
 )
-from .montecarlo import MonteCarloValidator, SymbolErrorEstimate
+from .montecarlo import MonteCarloValidator, SymbolErrorEstimate, default_payload
 from .results import (
     ExperimentRegistry,
     FigureResult,
@@ -25,8 +26,11 @@ from .results import (
     ascii_plot,
     format_table,
 )
+from .sweep import SweepRunner
 
 __all__ = [
+    "BatchCodec",
+    "BatchMonteCarloValidator",
     "DynamicRunResult",
     "DynamicScenario",
     "DynamicTick",
@@ -37,9 +41,12 @@ __all__ = [
     "LinkEvaluator",
     "MonteCarloValidator",
     "Series",
+    "SweepRunner",
     "SymbolErrorEstimate",
     "TableResult",
     "ascii_plot",
+    "corrupt_batch",
+    "default_payload",
     "expected_goodput",
     "figure_to_rows",
     "format_table",

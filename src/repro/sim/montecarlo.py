@@ -15,6 +15,12 @@ one:
   CRC exists to catch.
 * :meth:`MonteCarloValidator.frame_loss_rate` — whole frames through
   the real receiver vs the analytic frame-success probability.
+
+This module is the *scalar reference* implementation: one symbol or
+frame at a time, easy to audit against the paper's pseudocode.  The
+production path for large trial counts is the vectorized engine in
+:mod:`repro.sim.batch`, which consumes the same random stream and is
+held bit-identical to this one by the parity suite.
 """
 
 from __future__ import annotations
@@ -33,6 +39,19 @@ from ..link.frame import FrameError
 from ..link.mac import corrupt_slots
 from ..link.receiver import Receiver
 from ..link.transmitter import Transmitter
+
+
+def default_payload(n_bytes: int) -> bytes:
+    """A deterministic ``n_bytes``-long ramp payload (0, 1, ..., 255, 0, ...).
+
+    The previous expression — ``bytes(range(n % 256))`` tiled — produced
+    an *empty* payload whenever ``n_bytes`` was a multiple of 256 and a
+    wrong ramp otherwise (e.g. 300 bytes became a repeated 44-byte
+    pattern); this covers every length correctly.
+    """
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    return bytes(i % 256 for i in range(n_bytes))
 
 
 @dataclass(frozen=True)
@@ -109,10 +128,8 @@ class MonteCarloValidator:
 
         if n_frames < 1:
             raise ValueError("n_frames must be positive")
-        payload = payload if payload is not None else bytes(
-            range(self.config.payload_bytes % 256)) * (
-                self.config.payload_bytes // 256 + 1)
-        payload = payload[:self.config.payload_bytes]
+        payload = (payload if payload is not None
+                   else default_payload(self.config.payload_bytes))
         tx = Transmitter(self.config)
         rx = Receiver(self.config)
         slots = tx.encode_frame(payload, design)

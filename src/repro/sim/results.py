@@ -150,13 +150,16 @@ class ExperimentRegistry:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         self.runners[experiment_id] = runner
 
-    def run(self, experiment_id: str, **kwargs):
+    def get(self, experiment_id: str):
         if experiment_id not in self.runners:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; known: "
                 f"{sorted(self.runners)}"
             )
-        return self.runners[experiment_id](**kwargs)
+        return self.runners[experiment_id]
+
+    def run(self, experiment_id: str, **kwargs):
+        return self.get(experiment_id)(**kwargs)
 
     def ids(self) -> list[str]:
         return sorted(self.runners)

@@ -39,6 +39,34 @@ class TestSynthesis:
         assert samples.mean() == pytest.approx(pedestal, rel=0.05)
 
 
+class TestDefaultAdc:
+    def test_short_range_does_not_clip(self, config, channel, rng):
+        # Regression: the full scale used to be pinned to a 0.5 m link,
+        # so a 0.3 m receiver pushed its signal peaks past the ADC and
+        # they were silently flattened.
+        geometry = LinkGeometry.on_axis(0.3)
+        synth = WaveformSynthesizer(config)
+        adc = synth.default_adc(channel, geometry, 1.0)
+        pd = channel.photodiode
+        old_span = (pd.ambient_current(1.0) + pd.signal_current(
+            channel.optics.received_power_w(LinkGeometry.on_axis(0.5))))
+        # The 0.3 m operating point genuinely exceeds the old span...
+        assert (pd.ambient_current(1.0) + pd.signal_current(
+            channel.optics.received_power_w(geometry))) > old_span
+        # ...and the derived ADC covers it: no sample saturates.
+        samples = synth.received_samples(SLOTS, channel, geometry, 1.0, rng)
+        assert samples.max() < adc.full_scale - adc.lsb
+        assert SlotSampler(config).decide(samples, len(SLOTS)) == SLOTS
+
+    def test_span_tracks_ambient(self, config, channel):
+        synth = WaveformSynthesizer(config)
+        geometry = LinkGeometry.on_axis(2.0)
+        dark = synth.default_adc(channel, geometry, 0.0)
+        bright = synth.default_adc(channel, geometry, 1.0)
+        assert bright.full_scale > dark.full_scale
+        assert dark.full_scale > 0
+
+
 class TestSlotSampler:
     def _samples(self, config, amplitude=1.0):
         synth = WaveformSynthesizer(config, led=LedModel(1e-7, 1e-7))
@@ -79,6 +107,33 @@ class TestSlotSampler:
     def test_guard_fraction_validation(self, config):
         with pytest.raises(ValueError):
             SlotSampler(config, guard_fraction=0.0)
+
+    def test_tail_bias_shifts_window_towards_settled_tail(self, config):
+        # One slot whose samples ramp up (the LED settling): a biased
+        # window must average later — higher — samples than a centred one.
+        ramp = np.arange(float(config.oversampling))
+        biased = SlotSampler(config, tail_bias=1).slot_means(ramp, 1)
+        centred = SlotSampler(config, tail_bias=0).slot_means(ramp, 1)
+        assert biased[0] > centred[0]
+
+    def test_tail_bias_clamped_to_slot(self, config):
+        # A huge bias cannot push the window past the slot boundary.
+        ramp = np.arange(float(config.oversampling))
+        huge = SlotSampler(config, tail_bias=1000).slot_means(ramp, 1)
+        keep = max(1, round(config.oversampling * 0.5))
+        expected = ramp[config.oversampling - keep:].mean()
+        assert huge[0] == pytest.approx(expected)
+
+    def test_tail_bias_noop_with_full_window(self, config):
+        # guard_fraction=1.0 keeps every sample, so there is nowhere to
+        # shift to; bias must be a documented no-op there.
+        ramp = np.arange(float(config.oversampling))
+        full = SlotSampler(config, guard_fraction=1.0, tail_bias=3)
+        assert full.slot_means(ramp, 1)[0] == pytest.approx(ramp.mean())
+
+    def test_tail_bias_validation(self, config):
+        with pytest.raises(ValueError):
+            SlotSampler(config, tail_bias=-1)
 
 
 class TestEndToEndConsistency:

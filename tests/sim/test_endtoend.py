@@ -67,6 +67,27 @@ class TestDelivery:
         assert dark_errs <= bright_errs
 
 
+class TestBatchParity:
+    def test_measured_ser_bit_identical_to_scalar(self, config):
+        # Both paths consume the identical random stream, so the rates
+        # must match exactly — not just statistically.
+        design = AmppmScheme(config).design(0.5)
+        link = EndToEndLink(config=config,
+                            geometry=LinkGeometry.on_axis(4.8))
+        batched = link.measure_slot_error_rate(
+            design, bytes(48), 8, np.random.default_rng(1234), batch=True)
+        scalar = link.measure_slot_error_rate(
+            design, bytes(48), 8, np.random.default_rng(1234), batch=False)
+        assert batched == scalar
+        assert batched > 0  # 4.8 m is noisy enough to exercise errors
+
+    def test_zero_frames(self, config):
+        link = EndToEndLink(config=config)
+        design = AmppmScheme(config).design(0.5)
+        assert link.measure_slot_error_rate(
+            design, bytes(8), 0, np.random.default_rng(0)) == 0.0
+
+
 class TestReport:
     def test_slot_error_rate_field(self, config, rng):
         link = EndToEndLink(config=config,

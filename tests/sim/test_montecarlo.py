@@ -5,12 +5,46 @@ import pytest
 
 from repro.core import SlotErrorModel, SymbolPattern, SystemConfig
 from repro.schemes import AmppmScheme
-from repro.sim.montecarlo import MonteCarloValidator
+from repro.sim.montecarlo import MonteCarloValidator, default_payload
 
 
 @pytest.fixture(scope="module")
 def validator():
     return MonteCarloValidator(SystemConfig())
+
+
+class TestDefaultPayload:
+    def test_ramp_restarts_after_256(self):
+        payload = default_payload(300)
+        assert len(payload) == 300
+        assert payload[:256] == bytes(range(256))
+        assert payload[256:] == bytes(range(44))
+
+    def test_multiple_of_256_regression(self):
+        # The old expression, bytes(range(n % 256)), collapsed to an
+        # *empty* payload whenever n was a multiple of 256.
+        payload = default_payload(256)
+        assert len(payload) == 256
+        assert payload == bytes(range(256))
+
+    def test_short_and_empty(self):
+        assert default_payload(0) == b""
+        assert default_payload(3) == b"\x00\x01\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            default_payload(-1)
+
+    def test_frame_loss_usable_at_256_byte_payloads(self, validator):
+        # End-to-end guard: a 256-byte config must exercise a real
+        # payload, not silently validate empty frames.
+        config = SystemConfig(payload_bytes=256)
+        design = AmppmScheme(config).design(0.5)
+        measured, analytic = MonteCarloValidator(config).frame_loss_rate(
+            design, SlotErrorModel.ideal(), np.random.default_rng(8),
+            n_frames=3)
+        assert measured == 0.0
+        assert analytic == 0.0
 
 
 class TestEq3Validation:

@@ -52,6 +52,22 @@ class TestRun:
         payload = json.loads((tmp_path / "table2-direct.json").read_text())
         assert payload["kind"] == "table"
 
+    def test_jobs_flag_matches_serial(self):
+        code_serial, text_serial = run_cli("run", "ext-burst")
+        code_jobs, text_jobs = run_cli("run", "ext-burst", "--jobs", "2")
+        assert code_serial == code_jobs == 0
+        # The seeding contract: worker count must not change results.
+        assert text_jobs == text_serial
+
+    def test_jobs_accepted_by_non_sweep_experiments(self):
+        code, text = run_cli("run", "fig04", "--jobs", "2")
+        assert code == 0
+        assert "PSER" in text
+
+    def test_jobs_must_be_positive(self):
+        code, _ = run_cli("run", "fig04", "--jobs", "0")
+        assert code == 2
+
 
 class TestDesign:
     def test_valid_level(self):
