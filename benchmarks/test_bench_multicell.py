@@ -1,0 +1,62 @@
+"""Bench: the discrete-event multicell network simulator.
+
+Times the ``ext-multicell`` regeneration, re-checks the determinism
+contract (two same-seed runs, identical journals), and emits
+``BENCH_multicell.json`` at the repository root so the subsystem's
+performance trajectory is recorded run over run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import run_once
+
+from repro.des import journals_equal
+from repro.experiments import run_experiment
+from repro.net.multicell import default_network
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_multicell.json"
+GRIDS = ((1, 1), (2, 2), (3, 3))
+
+
+@pytest.mark.perf
+def test_bench_multicell(benchmark, config):
+    sim = default_network(config, rows=2, cols=2, n_nodes=4, seed=29)
+    t0 = time.perf_counter()
+    first = sim.run(30.0)
+    t_single = time.perf_counter() - t0
+    second = sim.run(30.0)
+    assert journals_equal(first.journal, second.journal)
+    assert first.metrics() == second.metrics()
+
+    t0 = time.perf_counter()
+    figure = run_once(benchmark, run_experiment, "ext-multicell",
+                      config=config, grids=GRIDS, n_nodes=4,
+                      duration_s=30.0)
+    t_sweep = time.perf_counter() - t0
+
+    goodput = figure.get("aggregate goodput (Kbps)")
+    assert min(goodput.y) > 0.0
+    events_per_s = len(first.journal) / t_single if t_single > 0 else 0.0
+    payload = {
+        "bench": "multicell",
+        "single_run_s": round(t_single, 4),
+        "journal_events": len(first.journal),
+        "events_per_s": round(events_per_s, 1),
+        "sweep_s": round(t_sweep, 4),
+        "sweep_grids": [list(g) for g in GRIDS],
+        "aggregate_goodput_kbps": {
+            f"{int(x)}": round(y, 2) for x, y in zip(goodput.x, goodput.y)
+        },
+        "journal_digest": first.journal.digest(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nmulticell: single 2x2 run {t_single * 1e3:.0f} ms "
+          f"({events_per_s:.0f} events/s), 3-grid sweep {t_sweep:.2f} s "
+          f"-> {BENCH_JSON.name}")
+
+    # The floor: a 30 s, 4-node, 2x2 run must stay interactive.
+    assert t_single < 5.0

@@ -8,6 +8,8 @@ Commands:
   files, ``--jobs N`` fans sweep grids across worker processes.
 * ``design <dimming>`` — ask the AMPPM designer for the best
   super-symbol at a dimming level and print its properties.
+* ``journal`` — run a multicell network scenario and show its event
+  journal (counters + tail); ``--jsonl FILE`` exports the full trace.
 * ``info`` — the active configuration and derived constants.
 """
 
@@ -49,6 +51,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="design a super-symbol for a dimming level")
     design_cmd.add_argument("dimming", type=float,
                             help="required dimming level in (0, 1)")
+
+    journal_cmd = sub.add_parser(
+        "journal", help="trace a multicell run's event journal")
+    journal_cmd.add_argument("--grid", default="2x2", metavar="RxC",
+                             help="luminaire grid, e.g. 2x3 (default 2x2)")
+    journal_cmd.add_argument("--nodes", type=int, default=4, metavar="N",
+                             help="mobile receivers (default 4)")
+    journal_cmd.add_argument("--duration", type=float, default=30.0,
+                             metavar="S", help="simulated seconds (default 30)")
+    journal_cmd.add_argument("--seed", type=int, default=13,
+                             help="scenario seed (default 13)")
+    journal_cmd.add_argument("--tail", type=int, default=12, metavar="K",
+                             help="journal entries to print (default 12)")
+    journal_cmd.add_argument("--jsonl", metavar="FILE", default=None,
+                             help="also export the full trace as JSON lines")
 
     sub.add_parser("info", help="show the active configuration")
     return parser
@@ -111,6 +128,39 @@ def _cmd_design(dimming: float, out) -> int:
     return 0
 
 
+def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
+                 tail: int, jsonl: str | None, out) -> int:
+    from .des import write_journal_jsonl
+    from .net.multicell import default_network
+
+    try:
+        rows_str, _, cols_str = grid.lower().partition("x")
+        rows, cols = int(rows_str), int(cols_str)
+    except ValueError:
+        print(f"--grid expects RxC (e.g. 2x3), got {grid!r}",
+              file=sys.stderr)
+        return 2
+    if rows < 1 or cols < 1 or nodes < 1 or duration <= 0:
+        print("grid dimensions and --nodes must be positive, --duration > 0",
+              file=sys.stderr)
+        return 2
+    simulation = default_network(rows=rows, cols=cols, n_nodes=nodes,
+                                 seed=seed)
+    result = simulation.run(duration)
+    print(f"multicell {rows}x{cols}, {nodes} nodes, {duration:g} s, "
+          f"seed {seed}", file=out)
+    print(f"  aggregate goodput : "
+          f"{result.aggregate_throughput_bps / 1e3:.1f} Kbps", file=out)
+    print(f"  handovers         : {result.total_handovers}", file=out)
+    print(f"  adjustments       : {result.total_adjustments}", file=out)
+    print(f"  journal digest    : {result.journal.digest()[:16]}", file=out)
+    print(result.journal.render(n_tail=tail), file=out)
+    if jsonl is not None:
+        path = write_journal_jsonl(result.journal, jsonl)
+        print(f"[jsonl] {path}", file=out)
+    return 0
+
+
 def _cmd_info(out) -> int:
     config = SystemConfig()
     print("SmartVLC reproduction — active configuration", file=out)
@@ -141,6 +191,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_run(args.ids, args.csv, args.json, out, jobs=args.jobs)
     if args.command == "design":
         return _cmd_design(args.dimming, out)
+    if args.command == "journal":
+        return _cmd_journal(args.grid, args.nodes, args.duration, args.seed,
+                            args.tail, args.jsonl, out)
     if args.command == "info":
         return _cmd_info(out)
     raise AssertionError(f"unhandled command {args.command!r}")

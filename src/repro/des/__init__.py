@@ -1,0 +1,36 @@
+"""Discrete-event simulation: kernel, journal, and network processes.
+
+``repro.des`` is the timing substrate the multi-luminaire network model
+(:mod:`repro.net.multicell`) runs on: a deterministic heap-based event
+scheduler, an append-only event journal doubling as the observability
+layer, and DES re-expressions of the Wi-Fi feedback plane and the
+stop-and-wait MAC so report latency, ACK timeouts and node dropouts
+all share one clock.
+"""
+
+from .journal import (
+    EventJournal,
+    JournalEntry,
+    journals_equal,
+    write_journal_jsonl,
+)
+from .kernel import (
+    Event,
+    EventHandle,
+    EventScheduler,
+    ProcessHandle,
+)
+from .processes import DesFeedbackPlane, DesStopAndWaitMac
+
+__all__ = [
+    "DesFeedbackPlane",
+    "DesStopAndWaitMac",
+    "Event",
+    "EventHandle",
+    "EventJournal",
+    "EventScheduler",
+    "JournalEntry",
+    "ProcessHandle",
+    "journals_equal",
+    "write_journal_jsonl",
+]

@@ -1,0 +1,220 @@
+"""Heap-based discrete-event kernel.
+
+The closed-loop simulations in :mod:`repro.net` historically advanced
+in lockstep ``step(t)`` calls, which cannot express events that happen
+*between* ticks — a Wi-Fi report landing 2 ms after it was sensed, an
+ACK timeout firing mid-window, a receiver dropping out at an arbitrary
+instant.  This kernel gives every consumer one real clock:
+
+* :class:`EventScheduler` — a binary-heap event queue.  Events fire in
+  ``(time, priority, seq)`` order, where ``seq`` is the monotonically
+  increasing insertion index; two events at the same time and priority
+  therefore dispatch in the order they were scheduled, making same-seed
+  runs bit-identical regardless of host or hash randomisation.
+* :class:`Event` — an immutable, typed record of one occurrence (kind,
+  actor, payload), also the unit the event journal traces.
+* :class:`ProcessHandle` — a cancellable handle on a spawned generator
+  process (a coroutine that ``yield``-s delays between actions), the
+  idiom the periodic sense/control/measure loops are written in.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from .journal import EventJournal
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence on the simulation clock.
+
+    ``payload`` is a tuple of sorted ``(key, value)`` pairs rather than
+    a dict so events stay immutable and cheaply comparable.
+    """
+
+    time: float
+    kind: str
+    seq: int
+    priority: int = 0
+    actor: str = ""
+    payload: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """A payload value by key (``default`` when absent)."""
+        for name, value in self.payload:
+            if name == key:
+                return value
+        return default
+
+
+class CancelledEventError(RuntimeError):
+    """Raised when a cancelled handle is asked to do work again."""
+
+
+class EventHandle:
+    """A cancellable reference to a not-yet-dispatched event."""
+
+    __slots__ = ("event", "_cancelled")
+
+    def __init__(self, event: Event):
+        self.event = event
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before dispatch."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running (idempotent)."""
+        self._cancelled = True
+
+
+class ProcessHandle:
+    """A running generator process on the scheduler.
+
+    The generator yields non-negative delays; between yields it performs
+    its actions against the simulation state.  ``cancel()`` stops the
+    process before its next resume.
+    """
+
+    __slots__ = ("name", "_alive", "_pending")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._alive = True
+        self._pending: EventHandle | None = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process may still be resumed."""
+        return self._alive
+
+    def cancel(self) -> None:
+        """Stop the process; its pending resume event is cancelled."""
+        self._alive = False
+        if self._pending is not None:
+            self._pending.cancel()
+
+
+@dataclass
+class EventScheduler:
+    """The event queue: schedule, cancel, and run events in time order.
+
+    ``journal`` is optional; when set, every *dispatched* event is
+    recorded (kind, actor, payload), which is the cheapest way to get a
+    full kernel-level trace.  Domain layers usually journal richer
+    entries from inside their callbacks instead.
+    """
+
+    journal: EventJournal | None = None
+
+    def __post_init__(self) -> None:
+        self._heap: list[tuple[float, int, int, EventHandle,
+                               Callable[[Event], None] | None]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay_s: float, kind: str,
+                 callback: Callable[[Event], None] | None = None, *,
+                 priority: int = 0, actor: str = "",
+                 **payload: Any) -> EventHandle:
+        """Schedule ``kind`` to fire ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        return self.schedule_at(self._now + delay_s, kind, callback,
+                                priority=priority, actor=actor, **payload)
+
+    def schedule_at(self, time_s: float, kind: str,
+                    callback: Callable[[Event], None] | None = None, *,
+                    priority: int = 0, actor: str = "",
+                    **payload: Any) -> EventHandle:
+        """Schedule ``kind`` at an absolute time (not before ``now``)."""
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_s} before now={self._now}")
+        event = Event(time=time_s, kind=kind, seq=self._seq,
+                      priority=priority, actor=actor,
+                      payload=tuple(sorted(payload.items())))
+        handle = EventHandle(event)
+        heapq.heappush(self._heap,
+                       (time_s, priority, self._seq, handle, callback))
+        self._seq += 1
+        return handle
+
+    def spawn(self, generator: Generator[float, None, None],
+              name: str = "process", *, delay_s: float = 0.0,
+              priority: int = 0) -> ProcessHandle:
+        """Run a generator as a process: each yielded value is the delay
+        until its next resume; returning (or ``StopIteration``) ends it.
+        """
+        handle = ProcessHandle(name)
+
+        def resume(_event: Event) -> None:
+            if not handle._alive:
+                return
+            try:
+                delay = next(generator)
+            except StopIteration:
+                handle._alive = False
+                handle._pending = None
+                return
+            if delay < 0:
+                handle._alive = False
+                raise ValueError(f"process {name!r} yielded a negative delay")
+            handle._pending = self.schedule(delay, f"resume:{name}", resume,
+                                            priority=priority, actor=name)
+
+        handle._pending = self.schedule(delay_s, f"resume:{name}", resume,
+                                        priority=priority, actor=name)
+        return handle
+
+    def step(self) -> Event | None:
+        """Dispatch the single next non-cancelled event, if any."""
+        while self._heap:
+            time_s, _priority, _seq, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time_s
+            event = handle.event
+            if self.journal is not None:
+                self.journal.record(event.time, event.kind, event.actor,
+                                    **dict(event.payload))
+            if callback is not None:
+                callback(event)
+            return event
+        return None
+
+    def run(self, until_s: float | None = None,
+            max_events: int | None = None) -> int:
+        """Dispatch events in order; returns the number dispatched.
+
+        ``until_s`` stops before any event later than that time (the
+        clock then rests at the last dispatched event).  ``max_events``
+        bounds runaway event cascades.
+        """
+        if until_s is not None and until_s < self._now:
+            raise ValueError("until_s lies in the past")
+        dispatched = 0
+        while self._heap:
+            if max_events is not None and dispatched >= max_events:
+                break
+            next_time = self._heap[0][0]
+            if until_s is not None and next_time > until_s:
+                break
+            if self.step() is not None:
+                dispatched += 1
+        return dispatched

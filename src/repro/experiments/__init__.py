@@ -8,6 +8,7 @@ mapping from experiment ids to paper artefacts lives in DESIGN.md §3.
 from . import (  # noqa: F401  (import-for-registration)
     ext_burst,
     ext_energy,
+    ext_multicell,
     ext_payload,
     ext_room,
     ext_serbound,

@@ -30,17 +30,24 @@ class WifiUplink:
     def __post_init__(self) -> None:
         if self.latency_s < 0 or self.jitter_s < 0:
             raise ValueError("latency and jitter must be non-negative")
-        if self.jitter_s > self.latency_s:
-            raise ValueError("jitter must not exceed the latency")
+        # A zero-latency uplink with jitter is a legitimate test double
+        # (delays are clamped at zero in deliver); only a positive
+        # median latency constrains the jitter half-width.
+        if self.latency_s > 0 and self.jitter_s > self.latency_s:
+            raise ValueError("jitter must not exceed a positive latency")
         if not 0.0 <= self.loss_probability < 1.0:
             raise ValueError("loss_probability must lie in [0, 1)")
 
     def deliver(self, sent_at: float, rng: np.random.Generator) -> float | None:
-        """Arrival time of a datagram sent at ``sent_at`` (None if lost)."""
+        """Arrival time of a datagram sent at ``sent_at`` (None if lost).
+
+        The delivery delay is clamped at zero, so a datagram never
+        arrives before it was sent even when jitter dominates latency.
+        """
         if self.loss_probability and rng.random() < self.loss_probability:
             return None
         jitter = rng.uniform(-self.jitter_s, self.jitter_s) if self.jitter_s else 0.0
-        return sent_at + self.latency_s + jitter
+        return sent_at + max(self.latency_s + jitter, 0.0)
 
     @property
     def expected_latency_s(self) -> float:

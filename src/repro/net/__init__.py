@@ -1,6 +1,33 @@
-"""Multi-receiver deployments: feedback plane and room simulation."""
+"""Multi-receiver deployments: feedback plane, rooms, and the
+multi-luminaire network (mobility, handover, interference) on the
+discrete-event kernel."""
 
 from .feedback import Aggregation, AmbientReport, FeedbackCollector
+from .interference import (
+    Interferer,
+    effective_slot_errors,
+    interference_sigma,
+    sinr,
+)
+from .mobility import (
+    LinearTrace,
+    MobilityModel,
+    RandomWaypoint,
+    StaticPosition,
+)
+from .multicell import (
+    AmbientField,
+    CellReport,
+    FaultPlan,
+    Luminaire,
+    MobileNode,
+    MulticellResult,
+    MulticellSimulation,
+    NodeReport,
+    default_network,
+    luminaire_grid,
+    strongest_cell,
+)
 from .room import (
     NodeSample,
     ReceiverPlacement,
@@ -10,10 +37,29 @@ from .room import (
 
 __all__ = [
     "Aggregation",
+    "AmbientField",
     "AmbientReport",
+    "CellReport",
+    "FaultPlan",
     "FeedbackCollector",
+    "Interferer",
+    "LinearTrace",
+    "Luminaire",
+    "MobileNode",
+    "MobilityModel",
+    "MulticellResult",
+    "MulticellSimulation",
+    "NodeReport",
     "NodeSample",
+    "RandomWaypoint",
     "ReceiverPlacement",
     "RoomSample",
     "RoomSimulation",
+    "StaticPosition",
+    "default_network",
+    "effective_slot_errors",
+    "interference_sigma",
+    "luminaire_grid",
+    "sinr",
+    "strongest_cell",
 ]

@@ -69,14 +69,24 @@ class FeedbackCollector:
         if arrival is not None:
             self._in_flight.append((arrival, report))
 
+    def deliver(self, report: AmbientReport, arrival: float) -> None:
+        """Register a report that arrived at ``arrival``.
+
+        This is the delivery half of :meth:`submit`, exposed so a
+        discrete-event scheduler can compute the arrival instant itself
+        (see :class:`repro.des.DesFeedbackPlane`) and still share the
+        freshest-sensing-time-wins semantics.
+        """
+        current = self._delivered.get(report.node)
+        # Keep the freshest *sensing* time, not arrival order.
+        if current is None or report.sensed_at > current[1].sensed_at:
+            self._delivered[report.node] = (arrival, report)
+
     def _drain(self, now: float) -> None:
         still_flying = []
         for arrival, report in self._in_flight:
             if arrival <= now:
-                current = self._delivered.get(report.node)
-                # Keep the freshest *sensing* time, not arrival order.
-                if current is None or report.sensed_at > current[1].sensed_at:
-                    self._delivered[report.node] = (arrival, report)
+                self.deliver(report, arrival)
             else:
                 still_flying.append((arrival, report))
         self._in_flight = still_flying

@@ -1,0 +1,143 @@
+"""Receiver mobility: where a node's photodiode is at time ``t``.
+
+The multi-luminaire network needs receivers that *move* — the paper's
+smart-lit building serves phones carried between desks, not only fixed
+ones.  Three models cover the evaluation's needs:
+
+* :class:`StaticPosition` — a desk (the degenerate trace).
+* :class:`LinearTrace` — constant-velocity motion, the deterministic
+  way to walk a receiver across a cell boundary in tests.
+* :class:`RandomWaypoint` — the classical random-waypoint process over
+  a rectangular floor: pick a uniform destination, walk at a uniform
+  speed, pause, repeat.  Legs are generated lazily from a private
+  seeded generator, so ``position(t)`` is deterministic per seed and
+  independent of query order.
+
+Positions are floor-plane ``(x, y)`` metres; the vertical drop to the
+luminaire plane is a property of the network, not the trace.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MobilityModel(ABC):
+    """A deterministic floor-plane trajectory."""
+
+    @abstractmethod
+    def position(self, t: float) -> tuple[float, float]:
+        """The ``(x, y)`` position in metres at time ``t`` seconds."""
+
+    def speed(self, t: float, dt: float = 0.5) -> float:
+        """Finite-difference speed in m/s around time ``t``."""
+        x0, y0 = self.position(max(t - dt, 0.0))
+        x1, y1 = self.position(t + dt)
+        return math.hypot(x1 - x0, y1 - y0) / (dt + min(t, dt))
+
+
+@dataclass(frozen=True)
+class StaticPosition(MobilityModel):
+    """A receiver that never moves (a desk)."""
+
+    x_m: float
+    y_m: float
+
+    def position(self, t: float) -> tuple[float, float]:
+        """The fixed ``(x, y)`` regardless of ``t``."""
+        return (self.x_m, self.y_m)
+
+
+@dataclass(frozen=True)
+class LinearTrace(MobilityModel):
+    """Constant-velocity motion from a start point.
+
+    ``end_t_s`` (optional) freezes the position after that time, so a
+    test can walk a node from cell A to cell B and let it dwell there.
+    """
+
+    start_x_m: float
+    start_y_m: float
+    velocity_x_mps: float = 0.0
+    velocity_y_mps: float = 0.0
+    end_t_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_t_s is not None and self.end_t_s < 0:
+            raise ValueError("end_t_s must be non-negative")
+
+    def position(self, t: float) -> tuple[float, float]:
+        """Start + velocity · t, frozen at ``end_t_s`` if set."""
+        t = max(t, 0.0)
+        if self.end_t_s is not None:
+            t = min(t, self.end_t_s)
+        return (self.start_x_m + self.velocity_x_mps * t,
+                self.start_y_m + self.velocity_y_mps * t)
+
+
+@dataclass
+class RandomWaypoint(MobilityModel):
+    """Random-waypoint mobility over a rectangular floor.
+
+    The node starts at a uniform point, repeatedly draws a uniform
+    destination and a uniform speed in ``[speed_min_mps,
+    speed_max_mps]``, walks there in a straight line, pauses for
+    ``pause_s``, and repeats.  All draws come from a private generator
+    seeded with ``seed``: the trace is a pure function of the seed.
+    """
+
+    width_m: float
+    depth_m: float
+    speed_min_mps: float = 0.2
+    speed_max_mps: float = 1.0
+    pause_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.depth_m <= 0:
+            raise ValueError("floor dimensions must be positive")
+        if not 0.0 < self.speed_min_mps <= self.speed_max_mps:
+            raise ValueError("need 0 < speed_min_mps <= speed_max_mps")
+        if self.pause_s < 0:
+            raise ValueError("pause_s must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+        x0 = float(self._rng.uniform(0.0, self.width_m))
+        y0 = float(self._rng.uniform(0.0, self.depth_m))
+        #: legs as (t_start, walk_duration, pause, (x0, y0), (x1, y1))
+        self._legs: list[tuple[float, float, float,
+                               tuple[float, float], tuple[float, float]]] = []
+        self._frontier_t = 0.0
+        self._frontier_pos = (x0, y0)
+
+    def _extend_to(self, t: float) -> None:
+        """Generate legs (in deterministic order) until ``t`` is covered."""
+        while self._frontier_t <= t:
+            x1 = float(self._rng.uniform(0.0, self.width_m))
+            y1 = float(self._rng.uniform(0.0, self.depth_m))
+            speed = float(self._rng.uniform(self.speed_min_mps,
+                                            self.speed_max_mps))
+            x0, y0 = self._frontier_pos
+            walk = math.hypot(x1 - x0, y1 - y0) / speed
+            self._legs.append((self._frontier_t, walk, self.pause_s,
+                               (x0, y0), (x1, y1)))
+            self._frontier_t += walk + self.pause_s
+            self._frontier_pos = (x1, y1)
+
+    def position(self, t: float) -> tuple[float, float]:
+        """The waypoint-interpolated position at time ``t``."""
+        t = max(t, 0.0)
+        self._extend_to(t)
+        # Binary search would be O(log n); traces are short enough that
+        # a reverse linear scan from the frontier is simpler and the
+        # common query pattern (monotone t) hits the last legs anyway.
+        for t_start, walk, pause, (x0, y0), (x1, y1) in reversed(self._legs):
+            if t >= t_start:
+                if walk <= 0.0:
+                    return (x1, y1)
+                frac = min((t - t_start) / walk, 1.0)
+                return (x0 + (x1 - x0) * frac, y0 + (y1 - y0) * frac)
+        return self._frontier_pos  # pragma: no cover (t=0 hits leg 0)

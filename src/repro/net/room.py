@@ -12,7 +12,6 @@ data.  One :meth:`RoomSimulation.step` advances the whole closed loop:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +25,7 @@ from ..phy.optics import LinkGeometry
 from ..schemes import AmppmSchemeDesign
 from ..sim.linkmodel import expected_goodput
 from .feedback import AmbientReport, FeedbackCollector
+from .interference import effective_slot_errors
 
 
 @dataclass(frozen=True)
@@ -52,11 +52,8 @@ class ReceiverPlacement:
     @property
     def geometry(self) -> LinkGeometry:
         """Link geometry assuming the photodiode faces the luminaire."""
-        distance = math.hypot(self.horizontal_offset_m, self.vertical_drop_m)
-        angle = math.degrees(math.atan2(self.horizontal_offset_m,
-                                        self.vertical_drop_m))
-        angle = min(angle, 89.0)
-        return LinkGeometry(distance, angle, angle)
+        return LinkGeometry.from_offsets(self.horizontal_offset_m,
+                                         self.vertical_drop_m)
 
     def local_ambient(self, room_ambient: float) -> float:
         """Daylight level at this desk."""
@@ -151,10 +148,12 @@ class RoomSimulation:
         design = AmppmSchemeDesign(sample.design, self.config)
 
         # 4. per-receiver link evaluation at the receiver's own ambient
+        #    (the shared multicell path, with zero interfering cells)
         nodes = []
         for placement in self.placements:
             local = placement.local_ambient(room_ambient)
-            errors = self.channel.slot_error_model(placement.geometry, local)
+            errors = effective_slot_errors(self.channel, placement.geometry,
+                                           local)
             rate = expected_goodput(design, errors, self.config)
             nodes.append(NodeSample(
                 name=placement.name,

@@ -83,10 +83,20 @@ class VlcChannel:
         return self.signal_swing(geometry) / sigma
 
     def slot_error_model(self, geometry: LinkGeometry,
-                         ambient: float = REFERENCE_AMBIENT) -> SlotErrorModel:
-        """Per-slot error probabilities at a placement and ambient level."""
+                         ambient: float = REFERENCE_AMBIENT,
+                         extra_noise_a: float = 0.0) -> SlotErrorModel:
+        """Per-slot error probabilities at a placement and ambient level.
+
+        ``extra_noise_a`` adds an RMS current in quadrature with the
+        photodiode noise — the hook co-channel interference from
+        neighbouring luminaires enters through (see
+        :mod:`repro.net.interference`).
+        """
+        if extra_noise_a < 0:
+            raise ValueError("extra_noise_a must be non-negative")
         swing = self.signal_swing(geometry)
-        sigma = self.photodiode.noise_sigma(ambient)
+        sigma = math.hypot(self.photodiode.noise_sigma(ambient),
+                           extra_noise_a)
         if swing <= 0.0:
             return SlotErrorModel(0.5, 0.5)  # outside FoV: coin flips
         if sigma == 0.0:

@@ -53,6 +53,27 @@ class LinkGeometry:
         """Receiver on a constant-distance arc, as in Fig. 17."""
         return cls(distance_m, angle_deg, angle_deg)
 
+    @classmethod
+    def from_offsets(cls, horizontal_m: float,
+                     vertical_m: float) -> "LinkGeometry":
+        """Geometry of a ceiling luminaire and an upward-facing receiver.
+
+        ``horizontal_m`` is the floor-plane offset from the point under
+        the luminaire, ``vertical_m`` the ceiling-to-photodiode drop.
+        With the photodiode facing straight up, the irradiance and
+        incidence angles coincide; the angle is clamped just below 90°
+        so extreme offsets stay constructible (the Lambertian gain
+        there is negligible anyway).
+        """
+        if horizontal_m < 0:
+            raise ValueError("horizontal_m must be non-negative")
+        if vertical_m <= 0:
+            raise ValueError("vertical_m must be positive")
+        distance = math.hypot(horizontal_m, vertical_m)
+        angle = math.degrees(math.atan2(horizontal_m, vertical_m))
+        angle = min(angle, 89.0)
+        return cls(distance, angle, angle)
+
 
 @dataclass(frozen=True)
 class OpticalFrontEnd:

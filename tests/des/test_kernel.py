@@ -1,0 +1,151 @@
+"""The discrete-event kernel: ordering, determinism, processes."""
+
+import pytest
+
+from repro.des import EventJournal, EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        s = EventScheduler()
+        fired = []
+        s.schedule(2.0, "b", lambda e: fired.append(e.kind))
+        s.schedule(1.0, "a", lambda e: fired.append(e.kind))
+        s.schedule(3.0, "c", lambda e: fired.append(e.kind))
+        assert s.run() == 3
+        assert fired == ["a", "b", "c"]
+        assert s.now == 3.0
+
+    def test_same_time_ties_break_by_insertion_order(self):
+        s = EventScheduler()
+        fired = []
+        for name in ("first", "second", "third"):
+            s.schedule(1.0, name, lambda e: fired.append(e.kind))
+        s.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_priority_beats_insertion_order(self):
+        s = EventScheduler()
+        fired = []
+        s.schedule(1.0, "late", lambda e: fired.append(e.kind), priority=1)
+        s.schedule(1.0, "early", lambda e: fired.append(e.kind), priority=0)
+        s.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_stops_before_later_events(self):
+        s = EventScheduler()
+        fired = []
+        s.schedule(1.0, "in", lambda e: fired.append(e.kind))
+        s.schedule(5.0, "out", lambda e: fired.append(e.kind))
+        assert s.run(until_s=2.0) == 1
+        assert fired == ["in"]
+        assert s.pending == 1
+
+    def test_callback_may_schedule_more_events(self):
+        s = EventScheduler()
+        fired = []
+
+        def chain(event):
+            fired.append(s.now)
+            if len(fired) < 3:
+                s.schedule(1.0, "chain", chain)
+
+        s.schedule(1.0, "chain", chain)
+        s.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_bounds_cascades(self):
+        s = EventScheduler()
+
+        def forever(event):
+            s.schedule(0.1, "again", forever)
+
+        s.schedule(0.0, "again", forever)
+        assert s.run(max_events=25) == 25
+
+    def test_cancel_prevents_dispatch(self):
+        s = EventScheduler()
+        fired = []
+        handle = s.schedule(1.0, "x", lambda e: fired.append(e.kind))
+        handle.cancel()
+        assert handle.cancelled
+        assert s.run() == 0
+        assert fired == []
+
+    def test_payload_travels_with_the_event(self):
+        s = EventScheduler()
+        seen = {}
+        s.schedule(1.0, "x", lambda e: seen.update({"v": e.get("value")}),
+                   value=42)
+        s.run()
+        assert seen == {"v": 42}
+
+    def test_validation(self):
+        s = EventScheduler()
+        with pytest.raises(ValueError):
+            s.schedule(-1.0, "x")
+        s.schedule(1.0, "x")
+        s.run()
+        with pytest.raises(ValueError):
+            s.schedule_at(0.5, "past")
+        with pytest.raises(ValueError):
+            s.run(until_s=0.0)
+
+
+class TestProcesses:
+    def test_process_resumes_at_yielded_delays(self):
+        s = EventScheduler()
+        times = []
+
+        def proc():
+            for _ in range(3):
+                times.append(s.now)
+                yield 2.0
+
+        s.spawn(proc())
+        s.run()
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_process_ends_on_return(self):
+        s = EventScheduler()
+
+        def proc():
+            yield 1.0
+
+        handle = s.spawn(proc())
+        assert handle.alive
+        s.run()
+        assert not handle.alive
+
+    def test_cancel_stops_the_process(self):
+        s = EventScheduler()
+        ticks = []
+
+        def proc():
+            while True:
+                ticks.append(s.now)
+                yield 1.0
+
+        handle = s.spawn(proc())
+        s.run(until_s=2.5)
+        handle.cancel()
+        s.run(until_s=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert not handle.alive
+
+    def test_two_schedulers_same_script_identical_journals(self):
+        def build():
+            journal = EventJournal()
+            s = EventScheduler(journal=journal)
+
+            def proc():
+                while s.now < 3.0:
+                    yield 1.0
+
+            s.spawn(proc(), name="ticker")
+            s.schedule(1.5, "midway", actor="external")
+            s.run(until_s=5.0)
+            return journal
+
+        assert build() == build()
+        assert build().digest() == build().digest()

@@ -1,0 +1,126 @@
+"""The DES adapters: Wi-Fi feedback plane and stop-and-wait MAC."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlotErrorModel, SystemConfig
+from repro.des import DesFeedbackPlane, DesStopAndWaitMac, EventJournal, \
+    EventScheduler
+from repro.link import StopAndWaitMac, WifiUplink
+from repro.net import AmbientReport, FeedbackCollector
+from repro.schemes import AmppmScheme
+
+
+@pytest.fixture
+def design():
+    return AmppmScheme(SystemConfig()).design(0.5)
+
+
+def make_plane(uplink=None, **collector_kwargs):
+    scheduler = EventScheduler()
+    journal = EventJournal()
+    collector = FeedbackCollector(uplink=uplink or WifiUplink(),
+                                  **collector_kwargs)
+    return scheduler, journal, DesFeedbackPlane(scheduler, journal, collector)
+
+
+class TestFeedbackPlane:
+    def test_report_arrives_after_wifi_latency(self, rng):
+        uplink = WifiUplink(latency_s=2e-3, jitter_s=0.0)
+        scheduler, journal, plane = make_plane(uplink)
+        assert plane.submit(AmbientReport("n0", 0.5, sensed_at=0.0), rng)
+        # Not delivered until the arrival event dispatches.
+        assert plane.estimate() is None
+        scheduler.run()
+        assert scheduler.now == pytest.approx(2e-3)
+        assert plane.estimate() == pytest.approx(0.5)
+        (arrival,) = journal.of_kind("report-arrival")
+        assert arrival.get("latency") == pytest.approx(2e-3)
+
+    def test_lossy_uplink_journals_the_loss(self, rng):
+        uplink = WifiUplink(loss_probability=0.999999999)
+        scheduler, journal, plane = make_plane(uplink)
+        assert not plane.submit(AmbientReport("n0", 0.5, sensed_at=0.0), rng)
+        assert journal.count("report-lost") == 1
+        assert journal.of_kind("report-lost")[0].get("reason") == "wifi-loss"
+
+    def test_outage_drops_everything_and_is_journaled(self, rng):
+        scheduler, journal, plane = make_plane()
+        plane.set_outage(True)
+        assert not plane.submit(AmbientReport("n0", 0.5, sensed_at=0.0), rng)
+        assert journal.of_kind("report-lost")[0].get("reason") == "outage"
+        plane.set_outage(False)
+        assert plane.submit(AmbientReport("n0", 0.6, sensed_at=0.1), rng)
+        assert journal.count("uplink-outage") == 1
+        assert journal.count("uplink-restored") == 1
+
+    def test_freshest_sensing_wins_across_out_of_order_arrivals(self, rng):
+        scheduler, journal, plane = make_plane(
+            WifiUplink(latency_s=1e-3, jitter_s=0.0))
+        plane.submit(AmbientReport("n0", 0.9, sensed_at=0.0), rng)
+        scheduler.run()
+        # An older sensing delivered later must not override.
+        plane.collector.deliver(AmbientReport("n0", 0.1, sensed_at=-1.0),
+                                arrival=scheduler.now)
+        assert plane.estimate() == pytest.approx(0.9)
+
+
+class TestDesMac:
+    def test_clean_channel_matches_analytic_mac(self, design):
+        config = SystemConfig()
+        scheduler = EventScheduler()
+        mac = DesStopAndWaitMac(scheduler, EventJournal(), config,
+                                uplink=WifiUplink(jitter_s=0.0))
+        rng = np.random.default_rng(7)
+        stats = mac.transfer(25, design, SlotErrorModel.ideal(), rng,
+                             payload_bytes=64)
+        scheduler.run()
+        assert stats.frames_delivered == 25
+        assert stats.retransmissions == 0
+        analytic = StopAndWaitMac(config, uplink=WifiUplink(jitter_s=0.0))
+        expected = analytic.expected_throughput(design,
+                                                SlotErrorModel.ideal(),
+                                                payload_bytes=64)
+        assert stats.throughput_bps == pytest.approx(expected, rel=0.05)
+
+    def test_hopeless_channel_times_out_and_abandons(self, design):
+        scheduler = EventScheduler()
+        journal = EventJournal()
+        mac = DesStopAndWaitMac(scheduler, journal, SystemConfig(),
+                                max_retries=2)
+        rng = np.random.default_rng(7)
+        stats = mac.transfer(1, design, SlotErrorModel(0.5, 0.5), rng)
+        scheduler.run()
+        assert stats.frames_delivered == 0
+        assert stats.frames_sent == 3  # 1 + 2 retries
+        assert journal.count("ack-timeout") == 3
+        assert journal.count("frame-abandoned") == 1
+        # Elapsed time includes the airtime + timeout of every attempt.
+        assert stats.elapsed_s > 3 * mac.ack_timeout_s
+
+    def test_retransmissions_happen_on_the_des_clock(self, design):
+        scheduler = EventScheduler()
+        journal = EventJournal()
+        mac = DesStopAndWaitMac(scheduler, journal, SystemConfig())
+        rng = np.random.default_rng(3)
+        stats = mac.transfer(10, design, SlotErrorModel(2e-3, 2e-3), rng)
+        scheduler.run()
+        # Every frame ends delivered or abandoned; retries show up both in
+        # the stats and as journaled timeout events on the shared clock.
+        assert stats.frames_delivered \
+            + journal.count("frame-abandoned") == 10
+        assert stats.retransmissions > 0
+        if stats.retransmissions:
+            timeouts = journal.of_kind("ack-timeout")
+            assert len(timeouts) == stats.retransmissions
+            assert all(e.time <= scheduler.now for e in timeouts)
+
+    def test_validation(self, design, rng):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            DesStopAndWaitMac(scheduler, EventJournal(), ack_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            DesStopAndWaitMac(scheduler, EventJournal(), max_retries=-1)
+        mac = DesStopAndWaitMac(scheduler, EventJournal())
+        with pytest.raises(ValueError):
+            mac.transfer(0, design, SlotErrorModel.ideal(), rng)

@@ -8,7 +8,7 @@ from repro.experiments import experiment_ids, run_experiment
 class TestRegistry:
     def test_extensions_registered(self):
         assert {"ext-energy", "ext-room", "ext-burst",
-                "ext-payload"} <= set(experiment_ids())
+                "ext-payload", "ext-multicell"} <= set(experiment_ids())
 
 
 class TestExtSerBound:
@@ -98,6 +98,38 @@ class TestExtRoom:
         near = fig.get("desk-under-lamp")
         far = fig.get("desk-corner")
         assert all(a >= b - 1e-9 for a, b in zip(near.y, far.y))
+
+
+class TestExtMulticell:
+    GRIDS = ((1, 1), (2, 2))
+
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_experiment("ext-multicell", grids=self.GRIDS,
+                              n_nodes=3, duration_s=15.0)
+
+    def test_one_point_per_grid(self, fig):
+        for series in fig.series:
+            assert series.x == (1.0, 4.0)
+
+    def test_goodput_positive_everywhere(self, fig):
+        goodput = fig.get("aggregate goodput (Kbps)")
+        assert all(y > 0.0 for y in goodput.y)
+
+    def test_counts_are_non_negative(self, fig):
+        assert all(y >= 0.0 for y in fig.get("handovers").y)
+        assert all(y >= 0.0
+                   for y in fig.get("adaptations per cell per min").y)
+
+    def test_same_seed_rerun_is_identical(self, fig):
+        again = run_experiment("ext-multicell", grids=self.GRIDS,
+                               n_nodes=3, duration_s=15.0)
+        assert again.series == fig.series
+
+    def test_jobs_do_not_change_results(self, fig):
+        parallel = run_experiment("ext-multicell", grids=self.GRIDS,
+                                  n_nodes=3, duration_s=15.0, jobs=2)
+        assert parallel.series == fig.series
 
 
 class TestExtBurst:

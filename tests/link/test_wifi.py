@@ -25,6 +25,18 @@ class TestDelivery:
         losses = sum(uplink.deliver(0.0, rng) is None for _ in range(5000))
         assert losses / 5000 == pytest.approx(0.3, abs=0.03)
 
+    def test_zero_latency_with_jitter_is_a_valid_test_double(self, rng):
+        # Regression: __post_init__ used to reject jitter_s > latency_s
+        # even at latency zero, outlawing a legitimate configuration.
+        uplink = WifiUplink(latency_s=0.0, jitter_s=1e-3)
+        for _ in range(200):
+            arrival = uplink.deliver(5.0, rng)
+            assert arrival >= 5.0  # the delay is clamped at zero
+
+    def test_arrival_never_precedes_sending(self, rng):
+        uplink = WifiUplink(latency_s=1e-3, jitter_s=1e-3)
+        assert all(uplink.deliver(2.0, rng) >= 2.0 for _ in range(200))
+
 
 class TestValidation:
     def test_negative_latency_rejected(self):

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.link import WifiUplink
 from repro.net import Aggregation, AmbientReport, FeedbackCollector
@@ -47,6 +49,61 @@ class TestDelivery:
         c.submit(AmbientReport("b", 0.4, sensed_at=0.0), rng)
         c.fresh_reports(1.0)
         assert set(c.known_nodes()) == {"a", "b"}
+
+    def test_report_aged_exactly_staleness_is_still_fresh(self, rng):
+        # The cut-off is inclusive: age == staleness_s keeps the report.
+        c = collector(staleness_s=2.0)
+        c.submit(AmbientReport("a", 0.4, sensed_at=0.0), rng)
+        assert c.ambient_estimate(2.0) == pytest.approx(0.4)
+        assert c.ambient_estimate(2.0 + 1e-9, fallback=0.9) == 0.9
+
+    def test_out_of_order_delivery_keeps_freshest_sensing(self, rng):
+        c = collector()
+        # The older sensing arrives *after* the newer one.
+        c.deliver(AmbientReport("a", 0.8, sensed_at=1.0), arrival=1.001)
+        c.deliver(AmbientReport("a", 0.2, sensed_at=0.0), arrival=1.5)
+        assert c.ambient_estimate(2.0) == pytest.approx(0.8)
+
+    def test_in_flight_reports_drain_in_arrival_order(self, rng):
+        c = collector(uplink=WifiUplink(latency_s=5e-3, jitter_s=4e-3))
+        c.submit(AmbientReport("a", 0.3, sensed_at=0.0), rng)
+        c.submit(AmbientReport("a", 0.7, sensed_at=0.5), rng)
+        # Whatever order the jittered arrivals land in, the freshest
+        # sensing wins once both are down.
+        assert c.ambient_estimate(1.0) == pytest.approx(0.7)
+
+
+class TestDeliveryProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(latencies=st.lists(
+        st.floats(min_value=0.0, max_value=0.5,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=12))
+    def test_freshest_sensing_wins_under_any_latency_pattern(
+            self, latencies):
+        """However Wi-Fi delays and reorders reports, the estimate after
+        everything has landed is the freshest-sensed value."""
+        c = FeedbackCollector(uplink=WifiUplink(latency_s=0.0, jitter_s=0.0),
+                              staleness_s=1e6)
+        reports = [AmbientReport("n", (i % 10) / 10.0, sensed_at=float(i))
+                   for i in range(len(latencies))]
+        for report, latency in zip(reports, latencies):
+            c.deliver(report, arrival=report.sensed_at + latency)
+        horizon = max(r.sensed_at for r in reports) + max(latencies) + 1.0
+        freshest = max(reports, key=lambda r: r.sensed_at)
+        assert c.ambient_estimate(horizon) == pytest.approx(freshest.value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_estimate_stays_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        c = FeedbackCollector(uplink=WifiUplink(latency_s=2e-3,
+                                                jitter_s=2e-3))
+        for i in range(20):
+            c.submit(AmbientReport(f"n{i % 4}", float(rng.random()),
+                                   sensed_at=0.1 * i), rng)
+        estimate = c.ambient_estimate(5.0)
+        assert estimate is None or 0.0 <= estimate <= 1.0
 
 
 class TestAggregation:

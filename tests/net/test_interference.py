@@ -1,0 +1,128 @@
+"""Co-channel interference: monotonicity and consistency contracts."""
+
+import math
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.net import Interferer, effective_slot_errors, \
+    interference_sigma, sinr
+from repro.phy import LinkGeometry, calibrated_channel
+from repro.sim.linkmodel import expected_goodput
+from repro.schemes import AmppmScheme
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return calibrated_channel(SystemConfig())
+
+
+@pytest.fixture(scope="module")
+def serving_geometry():
+    return LinkGeometry.from_offsets(0.5, 2.0)
+
+
+@pytest.fixture(scope="module")
+def neighbour_geometry():
+    return LinkGeometry.from_offsets(2.0, 2.0)
+
+
+class TestInterferenceSigma:
+    def test_no_interferers_is_zero(self, channel):
+        assert interference_sigma(channel, []) == 0.0
+
+    def test_pinned_duty_contributes_nothing(self, channel,
+                                             neighbour_geometry):
+        for duty in (0.0, 1.0):
+            sigma = interference_sigma(
+                channel, [Interferer(neighbour_geometry, duty)])
+            assert sigma == 0.0
+
+    def test_half_duty_maximises_fluctuation(self, channel,
+                                             neighbour_geometry):
+        half = interference_sigma(
+            channel, [Interferer(neighbour_geometry, 0.5)])
+        skew = interference_sigma(
+            channel, [Interferer(neighbour_geometry, 0.1)])
+        assert half > skew > 0.0
+
+    def test_interferers_add_in_quadrature(self, channel,
+                                           neighbour_geometry):
+        one = interference_sigma(
+            channel, [Interferer(neighbour_geometry, 0.5)])
+        two = interference_sigma(
+            channel, [Interferer(neighbour_geometry, 0.5)] * 2)
+        assert two == pytest.approx(one * math.sqrt(2.0))
+
+    def test_duty_validation(self, neighbour_geometry):
+        with pytest.raises(ValueError):
+            Interferer(neighbour_geometry, 1.5)
+
+
+class TestEffectiveSlotErrors:
+    def test_no_interferers_matches_channel_model(self, channel,
+                                                  serving_geometry):
+        direct = channel.slot_error_model(serving_geometry, 0.4)
+        via = effective_slot_errors(channel, serving_geometry, 0.4)
+        assert via == direct
+
+    def test_interference_raises_error_probabilities(self, channel,
+                                                     serving_geometry,
+                                                     neighbour_geometry):
+        clean = effective_slot_errors(channel, serving_geometry, 0.4)
+        noisy = effective_slot_errors(
+            channel, serving_geometry, 0.4,
+            [Interferer(neighbour_geometry, 0.5)])
+        assert noisy.p_off_error > clean.p_off_error
+        assert noisy.p_on_error > clean.p_on_error
+
+    def test_neighbour_never_increases_goodput(self, channel,
+                                               serving_geometry,
+                                               neighbour_geometry):
+        # The acceptance-criterion monotonicity pin: adding an
+        # interfering luminaire must never help the serving link,
+        # whatever its duty cycle or distance.
+        config = SystemConfig()
+        design = AmppmScheme(config).design(0.5)
+        alone = expected_goodput(
+            design,
+            effective_slot_errors(channel, serving_geometry, 0.4),
+            config)
+        for duty in (0.0, 0.25, 0.5, 0.75, 1.0):
+            for horizontal in (1.0, 2.0, 4.0):
+                neighbour = Interferer(
+                    LinkGeometry.from_offsets(horizontal, 2.0), duty)
+                with_neighbour = expected_goodput(
+                    design,
+                    effective_slot_errors(channel, serving_geometry, 0.4,
+                                          [neighbour]),
+                    config)
+                assert with_neighbour <= alone + 1e-12
+
+    def test_closer_neighbour_hurts_more(self, channel, serving_geometry):
+        config = SystemConfig()
+        design = AmppmScheme(config).design(0.5)
+
+        def goodput(horizontal):
+            neighbour = Interferer(
+                LinkGeometry.from_offsets(horizontal, 2.0), 0.5)
+            return expected_goodput(
+                design,
+                effective_slot_errors(channel, serving_geometry, 0.4,
+                                      [neighbour]),
+                config)
+
+        assert goodput(1.0) < goodput(2.0) < goodput(4.0)
+
+
+class TestSinr:
+    def test_decreases_with_interference(self, channel, serving_geometry,
+                                         neighbour_geometry):
+        clean = sinr(channel, serving_geometry, 0.4)
+        dirty = sinr(channel, serving_geometry, 0.4,
+                     [Interferer(neighbour_geometry, 0.5)])
+        assert 0.0 < dirty < clean
+
+    def test_decreases_with_ambient(self, channel, serving_geometry):
+        assert sinr(channel, serving_geometry, 0.8) \
+            < sinr(channel, serving_geometry, 0.1)

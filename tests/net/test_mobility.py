@@ -1,0 +1,87 @@
+"""Mobility traces: bounds, determinism, query-order independence."""
+
+import math
+
+import pytest
+
+from repro.net import LinearTrace, RandomWaypoint, StaticPosition
+
+
+class TestStaticPosition:
+    def test_never_moves(self):
+        node = StaticPosition(1.5, 2.5)
+        assert node.position(0.0) == (1.5, 2.5)
+        assert node.position(1e6) == (1.5, 2.5)
+        assert node.speed(10.0) == pytest.approx(0.0)
+
+
+class TestLinearTrace:
+    def test_constant_velocity(self):
+        trace = LinearTrace(0.0, 1.0, velocity_x_mps=0.5,
+                            velocity_y_mps=-0.25)
+        assert trace.position(0.0) == (0.0, 1.0)
+        assert trace.position(4.0) == pytest.approx((2.0, 0.0))
+        assert trace.speed(2.0) == pytest.approx(math.hypot(0.5, 0.25),
+                                                 rel=1e-6)
+
+    def test_freezes_after_end_time(self):
+        trace = LinearTrace(0.0, 0.0, velocity_x_mps=1.0, end_t_s=3.0)
+        assert trace.position(3.0) == (3.0, 0.0)
+        assert trace.position(100.0) == (3.0, 0.0)
+
+    def test_negative_time_clamps_to_start(self):
+        trace = LinearTrace(1.0, 2.0, velocity_x_mps=1.0)
+        assert trace.position(-5.0) == (1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearTrace(0.0, 0.0, end_t_s=-1.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_inside_the_floor(self):
+        walker = RandomWaypoint(5.0, 4.0, seed=11)
+        for t in range(0, 600, 3):
+            x, y = walker.position(float(t))
+            assert 0.0 <= x <= 5.0
+            assert 0.0 <= y <= 4.0
+
+    def test_same_seed_same_trace(self):
+        a = RandomWaypoint(5.0, 5.0, seed=42)
+        b = RandomWaypoint(5.0, 5.0, seed=42)
+        for t in (0.0, 1.5, 10.0, 99.9):
+            assert a.position(t) == b.position(t)
+
+    def test_different_seeds_diverge(self):
+        a = RandomWaypoint(5.0, 5.0, seed=1)
+        b = RandomWaypoint(5.0, 5.0, seed=2)
+        assert any(a.position(float(t)) != b.position(float(t))
+                   for t in range(20))
+
+    def test_query_order_does_not_matter(self):
+        forward = RandomWaypoint(6.0, 6.0, seed=7)
+        ordered = [forward.position(float(t)) for t in range(0, 40)]
+        backward = RandomWaypoint(6.0, 6.0, seed=7)
+        reverse = [backward.position(float(t))
+                   for t in reversed(range(0, 40))]
+        assert ordered == list(reversed(reverse))
+
+    def test_speed_respects_the_configured_range(self):
+        walker = RandomWaypoint(50.0, 50.0, speed_min_mps=0.5,
+                                speed_max_mps=0.5, pause_s=0.0, seed=3)
+        # With a degenerate speed range and no pauses every mid-leg
+        # finite-difference speed is exactly 0.5 m/s, except across a
+        # waypoint corner, where the chord is shorter.
+        speeds = [walker.speed(float(t)) for t in range(5, 100)]
+        assert max(speeds) <= 0.5 + 1e-9
+        assert any(s > 0.4 for s in speeds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(0.0, 5.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(5.0, 5.0, speed_min_mps=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(5.0, 5.0, speed_min_mps=2.0, speed_max_mps=1.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(5.0, 5.0, pause_s=-1.0)

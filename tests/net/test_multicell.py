@@ -1,0 +1,221 @@
+"""The multi-luminaire network simulator: the PR's acceptance pins.
+
+Determinism (same seed → bit-identical journal, identical metrics),
+handover physics (static nodes never hand over, a boundary-crossing
+trace does), interference monotonicity at network level, and fault
+injection all get pinned here.
+"""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.lighting import BlindRampAmbient, StaticAmbient
+from repro.net import AmbientField, FaultPlan, LinearTrace, MobileNode, \
+    MulticellSimulation, StaticPosition, default_network, luminaire_grid, \
+    strongest_cell
+from repro.net.mobility import RandomWaypoint
+
+
+class TestLuminaireGrid:
+    def test_layout_and_names(self):
+        grid = luminaire_grid(2, 3, spacing_m=2.0)
+        assert len(grid) == 6
+        assert grid[0].name == "cell-r0c0"
+        assert (grid[0].x_m, grid[0].y_m) == (1.0, 1.0)
+        assert grid[-1].name == "cell-r1c2"
+        assert (grid[-1].x_m, grid[-1].y_m) == (5.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            luminaire_grid(0, 2)
+        with pytest.raises(ValueError):
+            luminaire_grid(1, 1, spacing_m=0.0)
+
+
+class TestStrongestCell:
+    def test_picks_the_strongest(self):
+        gains = {"a": 1.0, "b": 3.0, "c": 2.0}
+        assert strongest_cell(gains, serving=None) == "b"
+
+    def test_ties_break_by_name(self):
+        assert strongest_cell({"b": 1.0, "a": 1.0}, serving=None) == "a"
+
+    def test_hysteresis_suppresses_ping_pong(self):
+        gains = {"a": 1.0, "b": 1.2}
+        # b is stronger, but not by 2 dB (x1.585) — stay on a.
+        assert strongest_cell(gains, serving="a", hysteresis_db=2.0) == "a"
+        assert strongest_cell({"a": 1.0, "b": 1.7}, serving="a",
+                              hysteresis_db=2.0) == "b"
+
+    def test_out_of_coverage_returns_none(self):
+        assert strongest_cell({"a": 0.0}, serving="a") is None
+        assert strongest_cell({}, serving=None) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strongest_cell({"a": 1.0}, None, hysteresis_db=-1.0)
+
+
+def small_network(**kwargs):
+    defaults = dict(
+        luminaires=luminaire_grid(1, 2, spacing_m=2.5),
+        nodes=(MobileNode("n0", StaticPosition(1.25, 1.25)),),
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return MulticellSimulation(**defaults)
+
+
+class TestDeterminism:
+    def test_same_instance_reruns_identically(self):
+        sim = small_network()
+        first = sim.run(12.0)
+        second = sim.run(12.0)
+        assert first.journal == second.journal
+        assert first.journal.digest() == second.journal.digest()
+        assert first.metrics() == second.metrics()
+
+    def test_equal_scenarios_agree(self):
+        first = default_network(rows=2, cols=2, n_nodes=3, seed=77).run(10.0)
+        second = default_network(rows=2, cols=2, n_nodes=3, seed=77).run(10.0)
+        assert first.journal == second.journal
+        assert first.metrics() == second.metrics()
+
+    def test_different_seeds_diverge(self):
+        first = default_network(n_nodes=3, seed=1).run(10.0)
+        second = default_network(n_nodes=3, seed=2).run(10.0)
+        assert first.journal != second.journal
+
+
+class TestHandover:
+    def test_static_receiver_never_hands_over(self):
+        result = small_network().run(20.0)
+        assert result.total_handovers == 0
+        assert result.journal.count("handover") == 0
+        assert result.journal.count("associate") == 1
+
+    def test_boundary_crossing_trace_hands_over(self):
+        # Walk from under cell-r0c0 (x=1.25) to under cell-r0c1
+        # (x=3.75) at 0.2 m/s; the midline is crossed around t=6.25 s.
+        walker = MobileNode("walker", LinearTrace(
+            1.25, 1.25, velocity_x_mps=0.2, end_t_s=15.0))
+        result = small_network(nodes=(walker,)).run(25.0)
+        assert result.total_handovers > 0
+        handover = result.journal.of_kind("handover")[0]
+        assert handover.get("source") == "cell-r0c0"
+        assert handover.get("target") == "cell-r0c1"
+        assert result.node("walker").handovers == result.total_handovers
+
+    def test_mobile_fleet_reports_positive_goodput(self):
+        result = default_network(rows=2, cols=2, n_nodes=4, seed=3).run(15.0)
+        assert result.aggregate_throughput_bps > 0.0
+        for node in result.nodes:
+            assert node.samples > 0
+
+
+class TestInterferenceAtNetworkLevel:
+    def test_neighbour_cell_never_helps_a_static_node(self):
+        node = MobileNode("n0", StaticPosition(1.25, 1.25))
+        alone = MulticellSimulation(
+            luminaires=luminaire_grid(1, 1, spacing_m=2.5),
+            nodes=(node,), seed=5).run(15.0)
+        crowded = small_network(nodes=(node,)).run(15.0)
+        assert crowded.node("n0").mean_goodput_bps \
+            <= alone.node("n0").mean_goodput_bps + 1e-9
+
+
+class TestFaultInjection:
+    def test_node_downtime_shows_as_down_samples(self):
+        sim = small_network(
+            faults=FaultPlan(node_downtime=(("n0", 5.0, 10.0),)))
+        result = sim.run(20.0)
+        report = result.node("n0")
+        assert report.down_samples == 5
+        assert result.journal.count("node-down") == 1
+        assert result.journal.count("node-up") == 1
+        assert result.journal.count("link-down") == 5
+        # The node re-associates after coming back.
+        assert result.journal.count("associate") == 2
+
+    def test_uplink_outage_loses_reports(self):
+        sim = small_network(
+            faults=FaultPlan(uplink_outages=((2.0, 8.0),)))
+        result = sim.run(15.0)
+        lost = result.journal.of_kind("report-lost")
+        assert lost
+        assert all(e.get("reason") == "outage" for e in lost)
+        assert all(2.0 <= e.time < 8.0 for e in lost)
+        assert result.journal.count("report-arrival") > 0
+
+    def test_zone_override_only_affects_its_zone(self):
+        ambient = AmbientField(
+            base=StaticAmbient(0.2),
+            zone_overrides=(("cell-r0c1", StaticAmbient(0.9)),))
+        nodes = (MobileNode("left", StaticPosition(1.25, 1.25)),
+                 MobileNode("right", StaticPosition(3.75, 1.25)))
+        result = small_network(nodes=nodes, ambient=ambient).run(10.0)
+        left = result.journal.of_kind("sense", actor="left")
+        right = result.journal.of_kind("sense", actor="right")
+        assert all(e.get("ambient") == pytest.approx(0.2) for e in left)
+        assert all(e.get("ambient") == pytest.approx(0.9) for e in right)
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(node_downtime=(("n0", 5.0, 5.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(uplink_outages=((-1.0, 2.0),))
+        with pytest.raises(ValueError):
+            small_network(faults=FaultPlan(
+                node_downtime=(("ghost", 1.0, 2.0),)))
+
+
+class TestAdaptation:
+    def test_blind_ramp_drives_per_cell_adaptation(self):
+        ambient = AmbientField(base=BlindRampAmbient(duration_s=30.0))
+        result = small_network(ambient=ambient).run(30.0)
+        assert result.total_adjustments > 0
+        for cell in result.cells:
+            assert 0.0 <= cell.final_led <= 1.0
+            assert cell.adaptation_rate_hz == pytest.approx(
+                cell.adjustments / 30.0)
+
+    def test_metrics_dict_is_complete(self):
+        result = small_network().run(5.0)
+        metrics = result.metrics()
+        assert set(metrics) == {
+            "aggregate_throughput_bps", "total_handovers",
+            "total_adjustments", "reports_delivered", "reports_lost"}
+        with pytest.raises(KeyError):
+            result.node("ghost")
+        with pytest.raises(KeyError):
+            result.cell("ghost")
+
+
+class TestValidation:
+    def test_constructor_guards(self):
+        with pytest.raises(ValueError):
+            MulticellSimulation(luminaires=())
+        with pytest.raises(ValueError):
+            MulticellSimulation(nodes=())
+        with pytest.raises(ValueError):
+            small_network(drop_m=0.0)
+        with pytest.raises(ValueError):
+            small_network(tick_s=0.0)
+        with pytest.raises(ValueError):
+            small_network(hysteresis_db=-1.0)
+        dup = (MobileNode("n0", StaticPosition(1.0, 1.0)),
+               MobileNode("n0", StaticPosition(2.0, 1.0)))
+        with pytest.raises(ValueError):
+            small_network(nodes=dup)
+        with pytest.raises(ValueError):
+            small_network().run(0.0)
+        with pytest.raises(ValueError):
+            default_network(n_nodes=0)
+
+    def test_default_network_scales_the_floor(self):
+        sim = default_network(rows=3, cols=2, spacing_m=2.0, n_nodes=2)
+        assert len(sim.luminaires) == 6
+        walker = sim.nodes[0].mobility
+        assert isinstance(walker, RandomWaypoint)
+        assert walker.width_m == pytest.approx(4.0)
+        assert walker.depth_m == pytest.approx(6.0)

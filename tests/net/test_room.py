@@ -6,6 +6,7 @@ import pytest
 
 from repro.lighting import BlindRampAmbient, StaticAmbient
 from repro.net import ReceiverPlacement, RoomSimulation
+from repro.phy import LinkGeometry
 
 
 class TestPlacement:
@@ -28,6 +29,32 @@ class TestPlacement:
             ReceiverPlacement("x", -1.0)
         with pytest.raises(ValueError):
             ReceiverPlacement("x", 0.0, vertical_drop_m=0.0)
+
+
+class TestFromOffsets:
+    """Geometry edge cases of the shared from_offsets constructor."""
+
+    def test_zero_horizontal_offset_is_the_boresight(self):
+        g = LinkGeometry.from_offsets(0.0, 2.0)
+        assert g.distance_m == pytest.approx(2.0)
+        assert g.irradiance_angle_deg == 0.0
+        assert g.incidence_angle_deg == 0.0
+
+    def test_symmetric_angles(self):
+        g = LinkGeometry.from_offsets(3.0, 2.0)
+        assert g.irradiance_angle_deg == pytest.approx(
+            g.incidence_angle_deg)
+        assert g.distance_m == pytest.approx(math.hypot(3.0, 2.0))
+
+    def test_grazing_offsets_clamp_below_ninety(self):
+        g = LinkGeometry.from_offsets(1e6, 1e-3)
+        assert g.incidence_angle_deg <= 89.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkGeometry.from_offsets(-0.1, 2.0)
+        with pytest.raises(ValueError):
+            LinkGeometry.from_offsets(1.0, 0.0)
 
 
 class TestRoom:
@@ -83,6 +110,27 @@ class TestRoom:
             profile=StaticAmbient(0.4))
         sample = room.step(0.0)
         assert not sample.nodes[0].link_ok
+
+    def test_outside_fov_desk_has_zero_throughput(self):
+        # Incidence beyond the photodiode FoV: zero gain, zero goodput,
+        # but sensing (and hence lighting control) still works.
+        room = RoomSimulation(
+            placements=(ReceiverPlacement("hallway", 20.0),),
+            profile=StaticAmbient(0.4))
+        sample = room.step(0.0)
+        node = sample.nodes[0]
+        assert not node.link_ok
+        assert node.throughput_bps == 0.0
+        assert sample.fused_ambient is not None
+
+    def test_desk_under_lamp_beats_offset_desk(self):
+        room = RoomSimulation(
+            placements=(ReceiverPlacement("under", 0.0),
+                        ReceiverPlacement("offset", 1.0)),
+            profile=StaticAmbient(0.4))
+        sample = room.step(0.0)
+        assert sample.node("under").throughput_bps > \
+            sample.node("offset").throughput_bps
 
     def test_window_desk_senses_more_daylight(self):
         room = RoomSimulation(profile=StaticAmbient(0.5))

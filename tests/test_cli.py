@@ -69,6 +69,42 @@ class TestRun:
         assert code == 2
 
 
+class TestJournal:
+    def test_prints_metrics_and_trace(self):
+        code, text = run_cli("journal", "--grid", "1x2", "--nodes", "2",
+                             "--duration", "8", "--tail", "4")
+        assert code == 0
+        assert "aggregate goodput" in text
+        assert "journal digest" in text
+        assert "event journal:" in text
+
+    def test_jsonl_export(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        code, text = run_cli("journal", "--grid", "1x1", "--nodes", "1",
+                             "--duration", "5", "--jsonl", str(target))
+        assert code == 0
+        assert target.exists()
+        rows = [json.loads(line)
+                for line in target.read_text().splitlines()]
+        assert rows
+        assert {"seq", "time", "kind"} <= set(rows[0])
+
+    def test_same_seed_same_digest(self):
+        _, first = run_cli("journal", "--grid", "1x2", "--nodes", "2",
+                           "--duration", "6", "--seed", "9")
+        _, second = run_cli("journal", "--grid", "1x2", "--nodes", "2",
+                            "--duration", "6", "--seed", "9")
+        assert first == second
+
+    def test_bad_grid_rejected(self):
+        code, _ = run_cli("journal", "--grid", "2by2")
+        assert code == 2
+
+    def test_non_positive_dimensions_rejected(self):
+        code, _ = run_cli("journal", "--grid", "0x2")
+        assert code == 2
+
+
 class TestDesign:
     def test_valid_level(self):
         code, text = run_cli("design", "0.35")

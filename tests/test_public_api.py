@@ -8,7 +8,7 @@ import pytest
 import repro
 
 SUBPACKAGES = ("repro.core", "repro.baselines", "repro.phy", "repro.link",
-               "repro.lighting", "repro.sim", "repro.net",
+               "repro.lighting", "repro.sim", "repro.des", "repro.net",
                "repro.experiments")
 
 
@@ -58,6 +58,9 @@ class TestPublicMethodDocstrings:
         "repro.link.StopAndWaitMac",
         "repro.lighting.SmartLightingController",
         "repro.net.RoomSimulation",
+        "repro.net.MulticellSimulation",
+        "repro.des.EventScheduler",
+        "repro.des.EventJournal",
     ])
     def test_every_public_method_documented(self, cls_path):
         module_name, cls_name = cls_path.rsplit(".", 1)
