@@ -7,7 +7,6 @@ import pytest
 from repro.core import (
     AmppmDesigner,
     SlotErrorModel,
-    SymbolPattern,
     SystemConfig,
     encode_symbol,
     slope_walk_envelope,

@@ -1,0 +1,70 @@
+"""Bench: the chaos harness and the ext-chaos sweep.
+
+Times a single supervised chaos run, re-checks the determinism
+contract (two same-seed runs, identical reports and digests), times
+the full ``ext-chaos`` regeneration, and emits ``BENCH_chaos.json`` at
+the repository root so the subsystem's performance trajectory is
+recorded run over run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.resilience import ChaosScenario, shipped_schedules
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+@pytest.mark.perf
+def test_bench_chaos(benchmark, config):
+    schedule = shipped_schedules()["mixed"]
+    scenario = ChaosScenario(config=config, schedule=schedule, seed=13)
+    t0 = time.perf_counter()
+    first = scenario.run()
+    t_single = time.perf_counter() - t0
+    second = scenario.run()
+    assert first.report == second.report
+    assert first.journal.digest() == second.journal.digest()
+
+    t0 = time.perf_counter()
+    figure = run_once(benchmark, run_experiment, "ext-chaos",
+                      config=config, duration_s=40.0, seed=13)
+    t_sweep = time.perf_counter() - t0
+
+    supervised = figure.get("supervised goodput (Kbps)")
+    baseline = figure.get("unsupervised goodput (Kbps)")
+    assert all(s > u for s, u in zip(supervised.y, baseline.y))
+    events_per_s = len(first.journal) / t_single if t_single > 0 else 0.0
+    payload = {
+        "bench": "chaos",
+        "single_run_s": round(t_single, 4),
+        "journal_events": len(first.journal),
+        "events_per_s": round(events_per_s, 1),
+        "sweep_s": round(t_sweep, 4),
+        "supervised_goodput_kbps": {
+            f"{int(x)}": round(y, 2)
+            for x, y in zip(supervised.x, supervised.y)
+        },
+        "unsupervised_goodput_kbps": {
+            f"{int(x)}": round(y, 2)
+            for x, y in zip(baseline.x, baseline.y)
+        },
+        "time_to_detect_s": [round(y, 3)
+                             for y in figure.get("time to detect (s)").y],
+        "time_to_recover_s": [round(y, 3)
+                              for y in figure.get("time to recover (s)").y],
+        "journal_digest": first.journal.digest(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nchaos: single mixed-schedule run {t_single * 1e3:.0f} ms "
+          f"({events_per_s:.0f} events/s), 8-run sweep {t_sweep:.2f} s "
+          f"-> {BENCH_JSON.name}")
+
+    # The floor: a 40 s supervised chaos run must stay interactive.
+    assert t_single < 5.0

@@ -10,6 +10,8 @@ Commands:
   super-symbol at a dimming level and print its properties.
 * ``journal`` — run a multicell network scenario and show its event
   journal (counters + tail); ``--jsonl FILE`` exports the full trace.
+* ``chaos`` — run one fault schedule against the supervised link and
+  print its resilience report (and the determinism digest).
 * ``info`` — the active configuration and derived constants.
 """
 
@@ -66,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="journal entries to print (default 12)")
     journal_cmd.add_argument("--jsonl", metavar="FILE", default=None,
                              help="also export the full trace as JSON lines")
+
+    chaos_cmd = sub.add_parser(
+        "chaos", help="run a fault schedule against the supervised link")
+    chaos_cmd.add_argument("--schedule", default="mixed", metavar="NAME",
+                           help="shipped fault schedule name, or 'random' "
+                                "(default mixed)")
+    chaos_cmd.add_argument("--duration", type=float, default=40.0,
+                           metavar="S", help="simulated seconds (default 40)")
+    chaos_cmd.add_argument("--seed", type=int, default=13,
+                           help="scenario seed (default 13)")
+    chaos_cmd.add_argument("--intensity", type=float, default=0.6,
+                           metavar="X",
+                           help="fault intensity in [0, 1] for "
+                                "--schedule random (default 0.6)")
+    chaos_cmd.add_argument("--unsupervised", action="store_true",
+                           help="run the no-supervision baseline instead")
 
     sub.add_parser("info", help="show the active configuration")
     return parser
@@ -161,6 +179,36 @@ def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
     return 0
 
 
+def _cmd_chaos(schedule: str, duration: float, seed: int, intensity: float,
+               unsupervised: bool, out) -> int:
+    from .resilience import ChaosScenario, FaultSchedule, shipped_schedules
+
+    if duration <= 0:
+        print("--duration must be positive", file=sys.stderr)
+        return 2
+    if schedule == "random":
+        if not 0.0 <= intensity <= 1.0:
+            print(f"--intensity must lie in [0, 1], got {intensity}",
+                  file=sys.stderr)
+            return 2
+        plan = FaultSchedule.random(seed, duration, intensity)
+    else:
+        shipped = shipped_schedules(duration)
+        if schedule not in shipped:
+            known = sorted(shipped) + ["random"]
+            print(f"unknown schedule {schedule!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        plan = shipped[schedule]
+    scenario = ChaosScenario(schedule=plan, duration_s=duration, seed=seed,
+                             supervised=not unsupervised)
+    result = scenario.run()
+    print(f"chaos schedule {schedule!r}, seed {seed}, "
+          f"{len(plan)} faults", file=out)
+    print(result.report.render(), file=out)
+    return 0
+
+
 def _cmd_info(out) -> int:
     config = SystemConfig()
     print("SmartVLC reproduction — active configuration", file=out)
@@ -194,6 +242,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "journal":
         return _cmd_journal(args.grid, args.nodes, args.duration, args.seed,
                             args.tail, args.jsonl, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args.schedule, args.duration, args.seed,
+                          args.intensity, args.unsupervised, out)
     if args.command == "info":
         return _cmd_info(out)
     raise AssertionError(f"unhandled command {args.command!r}")

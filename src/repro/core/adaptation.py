@@ -57,6 +57,13 @@ class AdaptationPlan:
             previous = level
         return worst
 
+    def is_flicker_safe(self, tau_perceived: float,
+                        tolerance: float = 1e-12) -> bool:
+        """Whether no step along the trajectory exceeds the Type-II bound."""
+        if tau_perceived <= 0:
+            raise ValueError("tau_perceived must be positive")
+        return self.max_perceived_step <= tau_perceived + tolerance
+
     def __iter__(self):
         return iter(self.levels)
 
@@ -133,6 +140,8 @@ class Adapter:
     use_perception_domain: bool = True
     range_min: float = 0.0
     adjustments: int = 0
+    #: the most recent plan executed by :meth:`retarget` (None initially)
+    last_plan: AdaptationPlan | None = None
 
     def retarget(self, target: float) -> AdaptationPlan:
         """Plan and 'execute' a move to ``target``, updating state."""
@@ -143,4 +152,5 @@ class Adapter:
             plan = plan_measured_steps(self.intensity, target, tau_m)
         self.adjustments += plan.n_steps
         self.intensity = target
+        self.last_plan = plan
         return plan

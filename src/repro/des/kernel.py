@@ -21,7 +21,7 @@ instant.  This kernel gives every consumer one real clock:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from .journal import EventJournal

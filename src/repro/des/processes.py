@@ -26,6 +26,7 @@ from ..baselines.base import SchemeDesign
 from ..core.errormodel import SlotErrorModel
 from ..core.params import SystemConfig
 from ..link.mac import MacStats
+from ..link.supervision import BackoffPolicy
 from ..link.wifi import WifiUplink
 from ..sim.linkmodel import frame_slot_count, frame_success_probability
 from .journal import EventJournal
@@ -104,12 +105,19 @@ class DesStopAndWaitMac:
     uplink: WifiUplink = field(default_factory=WifiUplink)
     ack_timeout_s: float = 10.0e-3
     max_retries: int = 8
+    backoff: BackoffPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.ack_timeout_s <= 0:
             raise ValueError("ack_timeout_s must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+
+    def _timeout_for(self, attempt: int) -> float:
+        """The ACK timeout after the ``attempt``-th failure."""
+        if self.backoff is None:
+            return self.ack_timeout_s
+        return self.backoff.timeout_for(attempt)
 
     def transfer(self, n_frames: int, design: SchemeDesign,
                  errors: SlotErrorModel, rng: np.random.Generator,
@@ -149,7 +157,7 @@ class DesStopAndWaitMac:
                     actor=f"frame-{index}")
             else:
                 self.scheduler.schedule(
-                    self.ack_timeout_s, "ack-timeout",
+                    self._timeout_for(attempt), "ack-timeout",
                     lambda _e: timed_out(index, attempt),
                     actor=f"frame-{index}")
 
@@ -161,12 +169,15 @@ class DesStopAndWaitMac:
             advance(index)
 
         def timed_out(index: int, attempt: int) -> None:
-            stats.retransmissions += 1
             self.journal.record(self.scheduler.now, "ack-timeout",
                                 f"frame-{index}", attempt=attempt)
             if attempt < self.max_retries:
+                # Only the retry this timeout triggers is a retransmission;
+                # the final, abandoning timeout is not.
+                stats.retransmissions += 1
                 send_frame(index, attempt + 1)
             else:
+                stats.frames_abandoned += 1
                 self.journal.record(self.scheduler.now, "frame-abandoned",
                                     f"frame-{index}")
                 advance(index)

@@ -7,6 +7,7 @@ mapping from experiment ids to paper artefacts lives in DESIGN.md §3.
 
 from . import (  # noqa: F401  (import-for-registration)
     ext_burst,
+    ext_chaos,
     ext_energy,
     ext_multicell,
     ext_payload,

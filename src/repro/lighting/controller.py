@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.adaptation import Adapter
+from ..core.adaptation import Adapter, AdaptationPlan
 from ..core.ampdesign import AmppmDesign, AmppmDesigner
+from ..core.errormodel import SlotErrorModel
 from ..core.params import SystemConfig
 from ..core.perception import perceived_step
+from ..link.supervision import LinkState
 from .ambient import AmbientProfile
 
 
@@ -34,6 +36,8 @@ class ControllerSample:
     led: float
     adjustments: int
     design: AmppmDesign | None
+    #: link-state label the tick was computed under ("up" when unsupervised)
+    link_state: str = LinkState.UP.value
 
     @property
     def total(self) -> float:
@@ -64,6 +68,10 @@ class SmartLightingController:
             fixes the darkest LED intensity of the operating range,
             which is where the existing method must size its fixed
             measured-domain step to stay flicker-safe.
+        degraded_error_margin: Error-probability inflation used to
+            build the conservative fallback designer consulted while
+            the supervised link is DEGRADED — the envelope then prefers
+            shorter, more redundant super-symbols.
     """
 
     target_sum: float = 1.0
@@ -73,6 +81,7 @@ class SmartLightingController:
     deadband: float = 0.0
     initial_led: float | None = None
     ambient_max: float = 0.90
+    degraded_error_margin: float = 4.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_sum <= 2.0:
@@ -81,6 +90,8 @@ class SmartLightingController:
             raise ValueError("deadband must be non-negative")
         if not 0.0 <= self.ambient_max <= 1.0:
             raise ValueError("ambient_max must lie in [0, 1]")
+        if self.degraded_error_margin < 1.0:
+            raise ValueError("degraded_error_margin must be >= 1")
         led0 = (self.initial_led if self.initial_led is not None
                 else min(self.target_sum, 1.0))
         self._adapter = Adapter(
@@ -91,6 +102,10 @@ class SmartLightingController:
         )
         self._last_design: AmppmDesign | None = None
         self._last_designed_level: float | None = None
+        self._conservative: AmppmDesigner | None = None
+        self._last_cons_design: AmppmDesign | None = None
+        self._last_cons_level: float | None = None
+        self._last_plan: AdaptationPlan | None = None
 
     @property
     def led_intensity(self) -> float:
@@ -106,18 +121,42 @@ class SmartLightingController:
         """Goal 1: the LED intensity that completes the target sum."""
         return min(max(self.target_sum - ambient, 0.0), 1.0)
 
-    def tick(self, t: float, ambient: float) -> ControllerSample:
-        """One control step at time ``t`` with the given ambient level."""
+    @property
+    def last_plan(self) -> AdaptationPlan | None:
+        """The adaptation plan executed by the latest tick (if any).
+
+        ``None`` when the latest tick stayed inside the deadband —
+        illumination did not move, so there is no trajectory to audit.
+        """
+        return self._last_plan
+
+    def tick(self, t: float, ambient: float,
+             link_state: LinkState = LinkState.UP) -> ControllerSample:
+        """One control step at time ``t`` with the given ambient level.
+
+        ``link_state`` is the supervised link's health (from a
+        :class:`~repro.link.supervision.LinkSupervisor`): DEGRADED
+        swaps in the conservative designer, DOWN/PROBING suspends
+        communication entirely (``design=None``) while illumination —
+        and its flicker guarantee — carries on unchanged.
+        """
         required = self.required_led(ambient)
+        self._last_plan = None
         if perceived_step(self._adapter.intensity, required) > self.deadband:
-            self._adapter.retarget(required)
-        design = self._design_for(self._adapter.intensity)
+            self._last_plan = self._adapter.retarget(required)
+        if link_state in (LinkState.DOWN, LinkState.PROBING):
+            design = None  # illumination-only fallback
+        elif link_state is LinkState.DEGRADED:
+            design = self.conservative_design(self._adapter.intensity)
+        else:
+            design = self._design_for(self._adapter.intensity)
         return ControllerSample(
             t=t,
             ambient=ambient,
             led=self._adapter.intensity,
             adjustments=self._adapter.adjustments,
             design=design,
+            link_state=link_state.value,
         )
 
     def run(self, profile: AmbientProfile, duration_s: float,
@@ -143,3 +182,36 @@ class SmartLightingController:
         self._last_design = self.designer.design_clamped(level)
         self._last_designed_level = level
         return self._last_design
+
+    def _conservative_designer(self) -> AmppmDesigner | None:
+        if self.designer is None:
+            return None
+        if self._conservative is None:
+            errors = SlotErrorModel.from_config(self.config).scaled(
+                self.degraded_error_margin)
+            try:
+                self._conservative = AmppmDesigner(self.config,
+                                                   errors=errors)
+            except ValueError:
+                # Margin prunes every candidate: degrade to the normal
+                # designer rather than losing the link entirely.
+                self._conservative = self.designer
+        return self._conservative
+
+    def conservative_design(self, level: float) -> AmppmDesign | None:
+        """The DEGRADED-mode design at a dimming level (also for probes).
+
+        Uses a designer whose slot error model is inflated by
+        ``degraded_error_margin``, so the SER bound admits only
+        shorter, more redundant super-symbols — the graceful step-down
+        a supervised link takes before giving up.
+        """
+        designer = self._conservative_designer()
+        if designer is None:
+            return None
+        if (self._last_cons_level is not None
+                and abs(level - self._last_cons_level) < 1e-12):
+            return self._last_cons_design
+        self._last_cons_design = designer.design_clamped(level)
+        self._last_cons_level = level
+        return self._last_cons_design

@@ -18,10 +18,17 @@ from .frame import (
 )
 from .mac import MacStats, StopAndWaitMac, corrupt_slots
 from .receiver import DecodedFrame, Receiver, SampleSynchronizer
+from .supervision import (
+    BackoffPolicy,
+    LinkState,
+    LinkSupervisor,
+    LinkTransition,
+)
 from .transmitter import Transmitter, descriptor_for_design
 from .wifi import WifiUplink
 
 __all__ = [
+    "BackoffPolicy",
     "CrcError",
     "DecodedFrame",
     "Frame",
@@ -29,6 +36,9 @@ __all__ = [
     "FrameHeader",
     "HEADER_SLOTS",
     "HeaderError",
+    "LinkState",
+    "LinkSupervisor",
+    "LinkTransition",
     "MAX_PAYLOAD_BYTES",
     "MacStats",
     "PREAMBLE_SLOTS",

@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core.coding import SuperSymbolCodec
 from ..core.params import SystemConfig
 from ..core.supersymbol import SuperSymbol
 from ..core.symbols import SymbolPattern

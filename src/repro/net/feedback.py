@@ -48,16 +48,21 @@ class FeedbackCollector:
 
     ``staleness_s`` bounds how old a delivered report may be before it
     is ignored — a receiver that went quiet must not pin the controller
-    to an outdated daylight level.
+    to an outdated daylight level.  ``max_nodes`` (optional) bounds the
+    per-node state against receiver churn: when exceeded, stale entries
+    are purged first and then the oldest-sensed entries are evicted.
     """
 
     uplink: WifiUplink = field(default_factory=WifiUplink)
     aggregation: Aggregation = Aggregation.MEAN
     staleness_s: float = 5.0
+    max_nodes: int | None = None
 
     def __post_init__(self) -> None:
         if self.staleness_s <= 0:
             raise ValueError("staleness_s must be positive")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError("max_nodes must be positive when set")
         # Per node: (arrival_time, report); in-flight as (arrival, report).
         self._delivered: dict[str, tuple[float, AmbientReport]] = {}
         self._in_flight: list[tuple[float, AmbientReport]] = []
@@ -82,6 +87,36 @@ class FeedbackCollector:
         if current is None or report.sensed_at > current[1].sensed_at:
             self._delivered[report.node] = (arrival, report)
 
+    def forget(self, node: str) -> bool:
+        """Drop all state for a departed node (returns whether any existed).
+
+        Call on receiver churn: a node that left the room must neither
+        linger in the fused estimate until it goes stale nor leak its
+        per-node entry forever.  In-flight reports from the node are
+        discarded too.
+        """
+        existed = self._delivered.pop(node, None) is not None
+        before = len(self._in_flight)
+        self._in_flight = [(arrival, report)
+                           for arrival, report in self._in_flight
+                           if report.node != node]
+        return existed or len(self._in_flight) < before
+
+    def _purge(self, now: float) -> None:
+        """Enforce ``max_nodes``: drop stale entries, then oldest-sensed."""
+        if self.max_nodes is None or len(self._delivered) <= self.max_nodes:
+            return
+        stale = [node for node, (_, report) in self._delivered.items()
+                 if now - report.sensed_at > self.staleness_s]
+        for node in stale:
+            del self._delivered[node]
+        excess = len(self._delivered) - self.max_nodes
+        if excess > 0:
+            oldest = sorted(self._delivered,
+                            key=lambda n: self._delivered[n][1].sensed_at)
+            for node in oldest[:excess]:
+                del self._delivered[node]
+
     def _drain(self, now: float) -> None:
         still_flying = []
         for arrival, report in self._in_flight:
@@ -90,6 +125,7 @@ class FeedbackCollector:
             else:
                 still_flying.append((arrival, report))
         self._in_flight = still_flying
+        self._purge(now)
 
     def fresh_reports(self, now: float) -> list[AmbientReport]:
         """Delivered, non-stale reports as of ``now``."""

@@ -42,6 +42,7 @@ from ..lighting.controller import SmartLightingController
 from ..link.wifi import WifiUplink
 from ..phy.channel import VlcChannel, calibrated_channel
 from ..phy.optics import LinkGeometry
+from ..resilience.faults import FaultPlan, schedule_plan_events
 from ..schemes import AmppmSchemeDesign
 from ..sim.linkmodel import expected_goodput
 from .feedback import Aggregation, AmbientReport, FeedbackCollector
@@ -136,29 +137,6 @@ class AmbientField:
     def level(self, t: float, zone: str | None = None) -> float:
         """Normalized ambient level at time ``t`` in a zone."""
         return self.profile_for(zone).intensity(t)
-
-
-@dataclass(frozen=True)
-class FaultPlan:
-    """Deterministic fault-injection schedule for one run.
-
-    ``node_downtime`` holds ``(node, start_s, end_s)`` churn windows
-    (the receiver is gone: no sensing, no reports, zero goodput);
-    ``uplink_outages`` holds ``(start_s, end_s)`` windows during which
-    every Wi-Fi report is lost.
-    """
-
-    node_downtime: tuple[tuple[str, float, float], ...] = ()
-    uplink_outages: tuple[tuple[float, float], ...] = ()
-
-    def __post_init__(self) -> None:
-        for name, start, end in self.node_downtime:
-            if start < 0 or end <= start:
-                raise ValueError(
-                    f"bad downtime window ({start}, {end}) for {name!r}")
-        for start, end in self.uplink_outages:
-            if start < 0 or end <= start:
-                raise ValueError(f"bad outage window ({start}, {end})")
 
 
 @dataclass(frozen=True)
@@ -405,38 +383,34 @@ class MulticellSimulation:
                          journal: EventJournal,
                          cells: dict[str, _CellState],
                          states: dict[str, _NodeState]) -> None:
-        """Turn the fault plan into down/up and outage events."""
+        """Turn the fault plan into down/up and outage events.
 
-        def set_down(state: _NodeState, down: bool):
-            def apply(_event) -> None:
-                state.down = down
-                if down:
-                    state.serving = None  # rejoining re-associates fresh
-                journal.record(scheduler.now,
-                               "node-down" if down else "node-up",
-                               state.node.name)
-            return apply
+        Installation is delegated to the shared
+        :func:`~repro.resilience.faults.schedule_plan_events`, which
+        preserves the historical event order, priorities, and kinds —
+        same-seed runs journal bit-identically to the pre-refactor
+        simulator.
+        """
 
-        def set_outage(active: bool):
-            def apply(_event) -> None:
-                for cell in cells.values():
-                    cell.plane.outage = active
-                journal.record(scheduler.now,
-                               "uplink-outage" if active
-                               else "uplink-restored")
-            return apply
-
-        for name, start, end in self.faults.node_downtime:
+        def on_node_change(name: str, down: bool) -> None:
             state = states[name]
-            scheduler.schedule_at(start, "node-down", set_down(state, True),
-                                  priority=-1, actor=name)
-            scheduler.schedule_at(end, "node-up", set_down(state, False),
-                                  priority=-1, actor=name)
-        for start, end in self.faults.uplink_outages:
-            scheduler.schedule_at(start, "uplink-outage", set_outage(True),
-                                  priority=-1)
-            scheduler.schedule_at(end, "uplink-restored", set_outage(False),
-                                  priority=-1)
+            state.down = down
+            if down:
+                state.serving = None  # rejoining re-associates fresh
+            journal.record(scheduler.now,
+                           "node-down" if down else "node-up",
+                           state.node.name)
+
+        def on_uplink_change(active: bool) -> None:
+            for cell in cells.values():
+                cell.plane.outage = active
+            journal.record(scheduler.now,
+                           "uplink-outage" if active
+                           else "uplink-restored")
+
+        schedule_plan_events(self.faults, scheduler,
+                             on_node_change=on_node_change,
+                             on_uplink_change=on_uplink_change)
 
     def _local_ambient(self, t: float, position: tuple[float, float],
                        node: MobileNode) -> float:

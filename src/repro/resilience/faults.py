@@ -1,0 +1,450 @@
+"""Composable, seedable fault schedules for every simulation substrate.
+
+The multicell simulator introduced :class:`FaultPlan` — receiver churn
+plus uplink outage windows.  This module generalizes it into a
+:class:`FaultSchedule`: an ordered tuple of typed fault primitives
+
+* :class:`UplinkOutage` — every Wi-Fi packet (ACKs and ambient
+  reports alike) is lost for a window;
+* :class:`AckLossBurst` — a window of elevated ACK loss on an
+  otherwise healthy uplink;
+* :class:`AdcBlinding` — a saturation/blinding window at the
+  photodiode: slot error probabilities scale up (analytic paths) and
+  the ambient pedestal rises (waveform paths);
+* :class:`AmbientStep` — a step transient in the ambient level that
+  persists until the next step;
+* :class:`NodeDowntime` — receiver churn (multicell).
+
+The same schedule injects into three substrates: by-time queries
+(:meth:`FaultSchedule.ack_loss_at` and friends) for the chaos harness
+and :mod:`repro.sim.endtoend`, a MAC corruptor via
+:meth:`FaultSchedule.corruptor`, and discrete-event kernels via
+:func:`install_fault_events` / :func:`schedule_plan_events` (the latter
+preserves the multicell journal bit-for-bit).
+
+Everything is frozen and validated at construction, and
+:meth:`FaultSchedule.random` derives an intensity-scaled schedule from
+a seed alone, so chaos sweeps are pure functions of their arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..core.errormodel import SlotErrorModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..des.journal import EventJournal
+    from ..des.kernel import EventScheduler
+
+
+def _check_window(start_s: float, end_s: float, what: str) -> None:
+    if start_s < 0 or end_s <= start_s:
+        raise ValueError(f"bad {what} window ({start_s}, {end_s})")
+
+
+@dataclass(frozen=True)
+class UplinkOutage:
+    """A window during which every Wi-Fi packet is lost."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s, "outage")
+
+
+@dataclass(frozen=True)
+class AckLossBurst:
+    """A window of elevated ACK loss probability on the uplink."""
+
+    start_s: float
+    end_s: float
+    loss_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s, "ACK-loss")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class AdcBlinding:
+    """A photodiode saturation window of a given severity in (0, 1].
+
+    Severity maps to an error-probability scale for the analytic slot
+    error model (``1 + severity·(max_error_scale - 1)``) and to an
+    additive ambient pedestal for the waveform path.
+    """
+
+    start_s: float
+    end_s: float
+    severity: float = 0.5
+    max_error_scale: float = 100.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s, "blinding")
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity must lie in (0, 1]")
+        if self.max_error_scale < 1.0:
+            raise ValueError("max_error_scale must be >= 1")
+
+    @property
+    def error_scale(self) -> float:
+        """Multiplier applied to slot error probabilities."""
+        return 1.0 + self.severity * (self.max_error_scale - 1.0)
+
+    @property
+    def ambient_boost(self) -> float:
+        """Additive normalized-ambient pedestal for waveform paths."""
+        return self.severity
+
+
+@dataclass(frozen=True)
+class AmbientStep:
+    """A step transient: ambient jumps to ``level`` at ``at_s``."""
+
+    at_s: float
+    level: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        if not 0.0 <= self.level <= 1.0:
+            raise ValueError("level must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class NodeDowntime:
+    """Receiver churn: ``node`` is gone over ``[start_s, end_s)``."""
+
+    node: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError(
+                f"bad downtime window ({self.start_s}, {self.end_s}) "
+                f"for {self.node!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault-injection schedule for one run.
+
+    ``node_downtime`` holds ``(node, start_s, end_s)`` churn windows
+    (the receiver is gone: no sensing, no reports, zero goodput);
+    ``uplink_outages`` holds ``(start_s, end_s)`` windows during which
+    every Wi-Fi report is lost.
+
+    This is the original multicell fault surface, kept verbatim for
+    compatibility; :meth:`to_schedule` lifts it into the generalized
+    :class:`FaultSchedule`.
+    """
+
+    node_downtime: tuple[tuple[str, float, float], ...] = ()
+    uplink_outages: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, start, end in self.node_downtime:
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"bad downtime window ({start}, {end}) for {name!r}")
+        for start, end in self.uplink_outages:
+            if start < 0 or end <= start:
+                raise ValueError(f"bad outage window ({start}, {end})")
+
+    def to_schedule(self) -> "FaultSchedule":
+        """The equivalent :class:`FaultSchedule` (same event order)."""
+        faults: list = [NodeDowntime(name, start, end)
+                        for name, start, end in self.node_downtime]
+        faults.extend(UplinkOutage(start, end)
+                      for start, end in self.uplink_outages)
+        return FaultSchedule(tuple(faults))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, validated collection of fault primitives."""
+
+    faults: tuple = ()
+
+    def __post_init__(self) -> None:
+        allowed = (UplinkOutage, AckLossBurst, AdcBlinding, AmbientStep,
+                   NodeDowntime)
+        for fault in self.faults:
+            if not isinstance(fault, allowed):
+                raise TypeError(f"unsupported fault {fault!r}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_type(self, kind: type) -> tuple:
+        """All faults of one primitive type, in schedule order."""
+        return tuple(f for f in self.faults if isinstance(f, kind))
+
+    def combine(self, other: "FaultSchedule") -> "FaultSchedule":
+        """A schedule containing this schedule's faults then ``other``'s."""
+        return FaultSchedule(self.faults + other.faults)
+
+    # -- by-time queries (chaos harness, end-to-end link) ---------------
+
+    def uplink_outage_at(self, t: float) -> bool:
+        """Whether a full uplink outage is active at ``t``."""
+        return any(f.start_s <= t < f.end_s
+                   for f in self.of_type(UplinkOutage))
+
+    def ack_loss_at(self, t: float) -> float:
+        """Extra ACK loss probability at ``t`` (1.0 during outages)."""
+        loss = 0.0
+        for f in self.of_type(AckLossBurst):
+            if f.start_s <= t < f.end_s:
+                loss = max(loss, f.loss_probability)
+        if self.uplink_outage_at(t):
+            loss = 1.0
+        return loss
+
+    def error_scale_at(self, t: float) -> float:
+        """Slot-error scale from active blinding windows (1.0 if none)."""
+        scale = 1.0
+        for f in self.of_type(AdcBlinding):
+            if f.start_s <= t < f.end_s:
+                scale = max(scale, f.error_scale)
+        return scale
+
+    def errors_at(self, t: float, base: SlotErrorModel) -> SlotErrorModel:
+        """The effective slot error model at ``t`` (blinding applied)."""
+        scale = self.error_scale_at(t)
+        return base if scale == 1.0 else base.scaled(scale)
+
+    def ambient_at(self, t: float, base: float) -> float:
+        """Room ambient at ``t``: the latest step override, else ``base``.
+
+        Blinding does *not* enter here — it saturates the receiver, not
+        the room — so lighting control sees only genuine daylight.
+        """
+        level = base
+        last_step = None
+        for f in self.of_type(AmbientStep):
+            if f.at_s <= t and (last_step is None or f.at_s >= last_step.at_s):
+                last_step = f
+        if last_step is not None:
+            level = last_step.level
+        return min(max(level, 0.0), 1.0)
+
+    def ambient_boost_at(self, t: float) -> float:
+        """Receiver-side ambient pedestal from active blinding windows.
+
+        Used by the waveform path (:mod:`repro.sim.endtoend`), where
+        blinding manifests as extra light saturating the ADC.
+        """
+        boost = 0.0
+        for f in self.of_type(AdcBlinding):
+            if f.start_s <= t < f.end_s:
+                boost = max(boost, f.ambient_boost)
+        return boost
+
+    def node_down_at(self, node: str, t: float) -> bool:
+        """Whether ``node`` is churned out at ``t``."""
+        return any(f.node == node and f.start_s <= t < f.end_s
+                   for f in self.of_type(NodeDowntime))
+
+    @property
+    def end_s(self) -> float:
+        """When the last fault window closes (0.0 for an empty schedule)."""
+        ends = [f.at_s if isinstance(f, AmbientStep) else f.end_s
+                for f in self.faults]
+        return max(ends, default=0.0)
+
+    # -- substrate adapters ---------------------------------------------
+
+    def corruptor(self, base: SlotErrorModel) -> Callable:
+        """A time-aware corruptor for :meth:`StopAndWaitMac.run`.
+
+        The returned callable has the three-argument signature
+        ``(slots, rng, now)`` the MAC upgrades to when available, and
+        applies active blinding windows to the base error model.
+        """
+        from ..link.mac import corrupt_slots
+
+        def corrupt(slots, rng, now: float):
+            return corrupt_slots(slots, self.errors_at(now, base), rng)
+
+        return corrupt
+
+    def to_fault_plan(self) -> FaultPlan:
+        """Project onto the multicell fault surface (churn + outages)."""
+        return FaultPlan(
+            node_downtime=tuple((f.node, f.start_s, f.end_s)
+                                for f in self.of_type(NodeDowntime)),
+            uplink_outages=tuple((f.start_s, f.end_s)
+                                 for f in self.of_type(UplinkOutage)),
+        )
+
+    @classmethod
+    def from_fault_plan(cls, plan: FaultPlan) -> "FaultSchedule":
+        """Lift a multicell :class:`FaultPlan` into a schedule."""
+        return plan.to_schedule()
+
+    @classmethod
+    def random(cls, seed: int, duration_s: float,
+               intensity: float, nodes: tuple[str, ...] = ()
+               ) -> "FaultSchedule":
+        """An intensity-scaled random schedule, pure in its arguments.
+
+        ``intensity`` in [0, 1] scales the number, length, and severity
+        of injected faults; 0 yields an empty schedule.  The mix leans
+        on blinding windows — the dominant real-world failure mode on
+        OpenVLC-class hardware — with ACK bursts, ambient steps, full
+        outages, and (when ``nodes`` are given) churn mixed in.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must lie in [0, 1]")
+        rng = np.random.default_rng(seed)
+        n_faults = int(round(6 * intensity))
+        kinds = ["blinding", "ack-burst", "ambient-step", "outage"]
+        weights = [0.45, 0.25, 0.2, 0.1]
+        if nodes:
+            kinds.append("churn")
+            weights = [0.4, 0.2, 0.15, 0.1, 0.15]
+        faults: list = []
+        for _ in range(n_faults):
+            kind = rng.choice(kinds, p=weights)
+            start = float(rng.uniform(0.05, 0.75)) * duration_s
+            length = float(rng.uniform(0.04, 0.12)) * duration_s \
+                * (0.5 + intensity)
+            end = min(start + length, duration_s * 0.95)
+            if kind == "blinding":
+                severity = 0.25 + 0.5 * intensity * float(rng.random())
+                faults.append(AdcBlinding(start, end, severity=severity))
+            elif kind == "ack-burst":
+                loss = 0.5 + 0.5 * intensity * float(rng.random())
+                faults.append(AckLossBurst(start, end,
+                                           loss_probability=loss))
+            elif kind == "ambient-step":
+                faults.append(AmbientStep(start,
+                                          float(rng.uniform(0.1, 0.9))))
+            elif kind == "outage":
+                faults.append(UplinkOutage(start, end))
+            else:
+                node = str(rng.choice(list(nodes)))
+                faults.append(NodeDowntime(node, start, end))
+        return cls(tuple(faults))
+
+
+def shipped_schedules(duration_s: float = 40.0) -> dict[str, FaultSchedule]:
+    """The curated fault schedules used by ``repro chaos`` and CI.
+
+    Each schedule stresses one failure mode reported on real VLC
+    deployments; ``mixed`` composes them.  All are sized for a
+    ``duration_s``-second run (windows scale linearly).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    s = duration_s / 40.0
+
+    def blinding() -> tuple:
+        return (AdcBlinding(8.0 * s, 14.0 * s, severity=0.35),
+                AdcBlinding(22.0 * s, 30.0 * s, severity=0.55))
+
+    def ack_burst() -> tuple:
+        return (AckLossBurst(10.0 * s, 16.0 * s, loss_probability=0.7),
+                AdcBlinding(24.0 * s, 30.0 * s, severity=0.4))
+
+    def transients() -> tuple:
+        return (AmbientStep(6.0 * s, 0.85),
+                AdcBlinding(12.0 * s, 18.0 * s, severity=0.45),
+                AmbientStep(20.0 * s, 0.3),
+                AdcBlinding(26.0 * s, 31.0 * s, severity=0.3))
+
+    def mixed() -> tuple:
+        return (AdcBlinding(5.0 * s, 10.0 * s, severity=0.4),
+                UplinkOutage(13.0 * s, 16.0 * s),
+                AckLossBurst(19.0 * s, 23.0 * s, loss_probability=0.8),
+                AmbientStep(25.0 * s, 0.8),
+                AdcBlinding(28.0 * s, 34.0 * s, severity=0.5))
+
+    return {
+        "blinding": FaultSchedule(blinding()),
+        "ack-burst": FaultSchedule(ack_burst()),
+        "transients": FaultSchedule(transients()),
+        "mixed": FaultSchedule(mixed()),
+    }
+
+
+def schedule_plan_events(plan: FaultPlan, scheduler: "EventScheduler", *,
+                         on_node_change: Callable[[str, bool], None],
+                         on_uplink_change: Callable[[bool], None]) -> None:
+    """Install a :class:`FaultPlan` on a discrete-event scheduler.
+
+    Replicates the multicell fault installer exactly — node windows
+    first (down then up), then outage windows, all at priority ``-1``
+    with the historical event kinds — so refactored consumers produce
+    bit-identical journals.  Callbacks receive ``(node, down)`` and
+    ``(active,)`` and are responsible for state mutation + journaling.
+    """
+
+    def node_event(name: str, down: bool):
+        def apply(_event) -> None:
+            on_node_change(name, down)
+        return apply
+
+    def uplink_event(active: bool):
+        def apply(_event) -> None:
+            on_uplink_change(active)
+        return apply
+
+    for name, start, end in plan.node_downtime:
+        scheduler.schedule_at(start, "node-down", node_event(name, True),
+                              priority=-1, actor=name)
+        scheduler.schedule_at(end, "node-up", node_event(name, False),
+                              priority=-1, actor=name)
+    for start, end in plan.uplink_outages:
+        scheduler.schedule_at(start, "uplink-outage", uplink_event(True),
+                              priority=-1)
+        scheduler.schedule_at(end, "uplink-restored", uplink_event(False),
+                              priority=-1)
+
+
+def install_fault_events(schedule: FaultSchedule,
+                         scheduler: "EventScheduler",
+                         journal: "EventJournal", *,
+                         actor: str = "faults") -> None:
+    """Journal every fault boundary as events on a DES scheduler.
+
+    Windowed faults record ``fault-begin``/``fault-end`` pairs (with
+    the fault kind in the detail); ambient steps record a single
+    ``fault-step``.  Physics stays with the by-time queries — these
+    events make fault boundaries visible in the trace so resilience
+    metrics can attribute detections and recoveries.
+    """
+
+    def mark(kind: str, fault_kind: str, **detail):
+        def apply(_event) -> None:
+            journal.record(scheduler.now, kind, actor,
+                           fault=fault_kind, **detail)
+        return apply
+
+    for fault in schedule.faults:
+        if isinstance(fault, AmbientStep):
+            scheduler.schedule_at(fault.at_s, "fault-step",
+                                  mark("fault-step", "ambient-step",
+                                       level=fault.level),
+                                  priority=-1, actor=actor)
+            continue
+        name = {UplinkOutage: "uplink-outage",
+                AckLossBurst: "ack-loss-burst",
+                AdcBlinding: "adc-blinding",
+                NodeDowntime: "node-downtime"}[type(fault)]
+        scheduler.schedule_at(fault.start_s, "fault-begin",
+                              mark("fault-begin", name),
+                              priority=-1, actor=actor)
+        scheduler.schedule_at(fault.end_s, "fault-end",
+                              mark("fault-end", name),
+                              priority=-1, actor=actor)

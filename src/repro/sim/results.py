@@ -9,7 +9,7 @@ sparkline-style plot good enough to eyeball curve shapes in a terminal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 
 @dataclass(frozen=True)

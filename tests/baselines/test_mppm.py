@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines import Mppm
-from repro.core import SlotErrorModel
 
 
 class TestDimmingQuantisation:

@@ -7,8 +7,8 @@ from repro.experiments import experiment_ids, run_experiment
 
 class TestRegistry:
     def test_extensions_registered(self):
-        assert {"ext-energy", "ext-room", "ext-burst",
-                "ext-payload", "ext-multicell"} <= set(experiment_ids())
+        assert {"ext-energy", "ext-room", "ext-burst", "ext-payload",
+                "ext-multicell", "ext-chaos"} <= set(experiment_ids())
 
 
 class TestExtSerBound:
@@ -129,6 +129,41 @@ class TestExtMulticell:
     def test_jobs_do_not_change_results(self, fig):
         parallel = run_experiment("ext-multicell", grids=self.GRIDS,
                                   n_nodes=3, duration_s=15.0, jobs=2)
+        assert parallel.series == fig.series
+
+
+class TestExtChaos:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return run_experiment("ext-chaos", duration_s=25.0)
+
+    def test_one_point_per_shipped_schedule(self, fig):
+        assert len(fig.series) == 8
+        for series in fig.series[:6]:
+            assert len(series.x) == 4  # blinding, ack-burst, transients, mixed
+
+    def test_intensity_sweep_rides_along(self, fig):
+        ramp = fig.get("supervised goodput vs intensity (Kbps)")
+        assert ramp.x[0] < ramp.x[-1] <= 1.0
+        assert all(y > 0.0 for y in ramp.y)
+
+    def test_supervised_wins_every_schedule(self, fig):
+        supervised = fig.get("supervised goodput (Kbps)")
+        baseline = fig.get("unsupervised goodput (Kbps)")
+        assert all(s > u for s, u in zip(supervised.y, baseline.y))
+
+    def test_detection_and_recovery_measured(self, fig):
+        assert all(y >= 0.0 for y in fig.get("time to detect (s)").y)
+        assert all(y >= 0.0 for y in fig.get("time to recover (s)").y)
+
+    def test_flicker_note_respects_the_bound(self, fig):
+        # The notes carry the worst perceived step across all runs; it
+        # must respect the Type-II bound printed next to it.
+        worst = float(fig.notes.split(":")[1].split("(")[0])
+        assert worst <= 0.003 + 1e-12
+
+    def test_jobs_do_not_change_results(self, fig):
+        parallel = run_experiment("ext-chaos", duration_s=25.0, jobs=2)
         assert parallel.series == fig.series
 
 

@@ -1,9 +1,7 @@
 """Integration of the extension substrates with the core loop."""
 
-import numpy as np
 import pytest
 
-from repro.core import SystemConfig
 from repro.lighting import (
     CloudyDayAmbient,
     DayNightManager,

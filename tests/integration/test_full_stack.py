@@ -1,9 +1,8 @@
 """Cross-module integration: the whole system working together."""
 
-import numpy as np
 import pytest
 
-from repro.core import AmppmDesigner, SlotErrorModel, SystemConfig
+from repro.core import AmppmDesigner, SystemConfig
 from repro.lighting import (
     BlindRampAmbient,
     SmartLightingController,

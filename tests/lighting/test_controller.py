@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import SystemConfig
 from repro.lighting import (
     BlindRampAmbient,
     SmartLightingController,

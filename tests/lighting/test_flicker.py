@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import AmppmDesigner, SystemConfig
 from repro.lighting import (
     max_constant_run,
     type1_perceptual,

@@ -1,6 +1,5 @@
 """CRC-16-CCITT correctness and error detection."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

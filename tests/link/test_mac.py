@@ -1,6 +1,5 @@
 """Stop-and-wait MAC: delivery, retransmission, throughput accounting."""
 
-import numpy as np
 import pytest
 
 from repro.core import SlotErrorModel, SystemConfig
@@ -63,6 +62,19 @@ class TestRun:
         stats = mac.run([bytes(64)], design, errors, rng)
         assert stats.frames_delivered == 0
         assert stats.frames_sent == 3  # 1 + 2 retries
+
+    def test_exhausted_retries_pin_the_retransmission_count(self, design,
+                                                            rng):
+        # Regression: the first transmission of a payload is not a
+        # retransmission, and the final timeout of an abandoned payload
+        # must not count one either — a payload that exhausts
+        # ``max_retries`` retries contributes exactly ``max_retries``.
+        mac = StopAndWaitMac(SystemConfig(), max_retries=2)
+        errors = SlotErrorModel(0.2, 0.2)
+        stats = mac.run([bytes(64)], design, errors, rng)
+        assert stats.retransmissions == 2
+        assert stats.frames_abandoned == 1
+        assert stats.frames_sent == stats.retransmissions + 1
 
     def test_custom_corruptor_burst_channel(self, mac, design, rng):
         from repro.core import SlotErrorModel as Sem

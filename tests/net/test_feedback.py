@@ -130,6 +130,48 @@ class TestAggregation:
         assert c.ambient_estimate(1.0) == pytest.approx(0.6)
 
 
+class TestChurn:
+    def test_forget_drops_delivered_state(self, rng):
+        c = collector(aggregation=Aggregation.MAX)
+        c.submit(AmbientReport("a", 0.2, sensed_at=0.0), rng)
+        c.submit(AmbientReport("b", 0.9, sensed_at=0.0), rng)
+        assert c.ambient_estimate(1.0) == pytest.approx(0.9)
+        assert c.forget("b")
+        assert c.ambient_estimate(1.0) == pytest.approx(0.2)
+        assert set(c.known_nodes()) == {"a"}
+
+    def test_forget_discards_in_flight_reports(self, rng):
+        c = collector()
+        c.submit(AmbientReport("a", 0.4, sensed_at=0.0), rng)
+        assert c.forget("a")  # still in flight — must not land later
+        assert c.ambient_estimate(1.0) is None
+
+    def test_forget_unknown_node_is_a_noop(self, rng):
+        c = collector()
+        assert not c.forget("ghost")
+
+    def test_max_nodes_purges_stale_entries_first(self, rng):
+        c = collector(max_nodes=2, staleness_s=2.0)
+        c.submit(AmbientReport("old", 0.1, sensed_at=0.0), rng)
+        c.submit(AmbientReport("b", 0.5, sensed_at=5.0), rng)
+        c.submit(AmbientReport("c", 0.7, sensed_at=5.1), rng)
+        c.fresh_reports(6.0)  # "old" is stale: purged, b and c kept
+        assert set(c.known_nodes()) == {"b", "c"}
+
+    def test_max_nodes_evicts_oldest_sensed(self, rng):
+        c = collector(max_nodes=2, staleness_s=100.0)
+        for i, node in enumerate(("a", "b", "c")):
+            c.submit(AmbientReport(node, 0.5, sensed_at=float(i)), rng)
+        c.fresh_reports(4.0)  # nothing stale: the oldest sensing goes
+        assert set(c.known_nodes()) == {"b", "c"}
+
+    def test_unbounded_collector_never_evicts(self, rng):
+        c = collector(staleness_s=100.0)
+        for i in range(50):
+            c.submit(AmbientReport(f"n{i}", 0.5, sensed_at=float(i)), rng)
+        assert len(list(c.fresh_reports(60.0))) == 50
+
+
 class TestValidation:
     def test_report_value_range(self):
         with pytest.raises(ValueError):
@@ -138,3 +180,7 @@ class TestValidation:
     def test_staleness_positive(self):
         with pytest.raises(ValueError):
             FeedbackCollector(staleness_s=0.0)
+
+    def test_max_nodes_positive_when_set(self):
+        with pytest.raises(ValueError):
+            FeedbackCollector(max_nodes=0)

@@ -8,7 +8,6 @@ injection all get pinned here.
 
 import pytest
 
-from repro.core import SystemConfig
 from repro.lighting import BlindRampAmbient, StaticAmbient
 from repro.net import AmbientField, FaultPlan, LinearTrace, MobileNode, \
     MulticellSimulation, StaticPosition, default_network, luminaire_grid, \

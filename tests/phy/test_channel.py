@@ -6,7 +6,6 @@ from repro.phy import (
     REFERENCE_DISTANCE_M,
     LinkGeometry,
     VlcChannel,
-    calibrated_channel,
     q_function,
     q_inverse,
 )

@@ -11,7 +11,7 @@ analytic model for all three schemes at two dimming levels.
 import numpy as np
 import pytest
 
-from repro.core import SlotErrorModel, SymbolPattern, SystemConfig
+from repro.core import SlotErrorModel, SymbolPattern
 from repro.core.coding import CodewordWeightError, decode_symbol, encode_symbol
 from repro.link.mac import corrupt_slots
 from repro.schemes import AmppmScheme, Mppm, OokCt

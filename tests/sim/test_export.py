@@ -73,7 +73,7 @@ class TestJson:
 
 class TestRealExperiments:
     def test_every_experiment_exports(self, tmp_path):
-        from repro.experiments import experiment_ids, run_experiment
+        from repro.experiments import run_experiment
 
         for experiment_id in ("fig04", "table2-direct"):
             result = run_experiment(experiment_id)

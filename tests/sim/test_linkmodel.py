@@ -1,10 +1,9 @@
 """The analytic link model used by the figure harnesses."""
 
-import numpy as np
 import pytest
 
-from repro.core import SlotErrorModel, SystemConfig
-from repro.link import StopAndWaitMac, Transmitter
+from repro.core import SlotErrorModel
+from repro.link import Transmitter
 from repro.phy import LinkGeometry
 from repro.schemes import AmppmScheme, OokCt
 from repro.sim import (

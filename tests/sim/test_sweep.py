@@ -1,6 +1,5 @@
 """SweepRunner: grid fan-out, process parallelism, seeding contract."""
 
-import numpy as np
 import pytest
 
 from repro.sim.sweep import SweepRunner

@@ -105,6 +105,50 @@ class TestJournal:
         assert code == 2
 
 
+class TestChaos:
+    def test_prints_the_resilience_report(self):
+        code, text = run_cli("chaos", "--schedule", "blinding",
+                             "--duration", "20", "--seed", "7")
+        assert code == 0
+        assert "chaos schedule 'blinding'" in text
+        assert "resilience report (supervised" in text
+        assert "journal digest" in text
+
+    def test_unsupervised_baseline_flag(self):
+        code, text = run_cli("chaos", "--schedule", "blinding",
+                             "--duration", "20", "--unsupervised")
+        assert code == 0
+        assert "resilience report (unsupervised" in text
+
+    def test_same_seed_same_output(self):
+        args = ("chaos", "--schedule", "mixed", "--duration", "20",
+                "--seed", "13")
+        _, first = run_cli(*args)
+        _, second = run_cli(*args)
+        assert first == second
+
+    def test_random_schedule_is_seeded(self):
+        args = ("chaos", "--schedule", "random", "--duration", "15",
+                "--seed", "5", "--intensity", "0.8")
+        code, first = run_cli(*args)
+        assert code == 0
+        _, second = run_cli(*args)
+        assert first == second
+
+    def test_unknown_schedule_rejected(self):
+        code, _ = run_cli("chaos", "--schedule", "nope")
+        assert code == 2
+
+    def test_bad_duration_rejected(self):
+        code, _ = run_cli("chaos", "--duration", "0")
+        assert code == 2
+
+    def test_bad_intensity_rejected(self):
+        code, _ = run_cli("chaos", "--schedule", "random",
+                          "--intensity", "1.5")
+        assert code == 2
+
+
 class TestDesign:
     def test_valid_level(self):
         code, text = run_cli("design", "0.35")

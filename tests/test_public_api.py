@@ -9,7 +9,7 @@ import repro
 
 SUBPACKAGES = ("repro.core", "repro.baselines", "repro.phy", "repro.link",
                "repro.lighting", "repro.sim", "repro.des", "repro.net",
-               "repro.experiments")
+               "repro.resilience", "repro.experiments")
 
 
 class TestTopLevel:
@@ -61,6 +61,11 @@ class TestPublicMethodDocstrings:
         "repro.net.MulticellSimulation",
         "repro.des.EventScheduler",
         "repro.des.EventJournal",
+        "repro.link.LinkSupervisor",
+        "repro.link.BackoffPolicy",
+        "repro.resilience.ChaosScenario",
+        "repro.resilience.FaultSchedule",
+        "repro.resilience.ResilienceReport",
     ])
     def test_every_public_method_documented(self, cls_path):
         module_name, cls_name = cls_path.rsplit(".", 1)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import SlotErrorModel, SystemConfig
-from repro.schemes import AmppmScheme, AmppmSchemeDesign, standard_schemes
+from repro.schemes import AmppmScheme, standard_schemes
 
 
 class TestAmppmScheme:
