@@ -5,14 +5,23 @@ Commands:
 * ``list`` — show every registered experiment id.
 * ``run <id> [...]`` — regenerate experiments and render them as text;
   ``--csv DIR`` / ``--json DIR`` additionally export machine-readable
-  files, ``--jobs N`` fans sweep grids across worker processes.
+  files (plus a ``<id>.manifest.json`` provenance sidecar per result),
+  ``--jobs N`` fans sweep grids across worker processes, and
+  ``--telemetry FILE`` records the whole invocation — metrics, spans,
+  manifests — as JSON lines for ``repro stats``.
 * ``design <dimming>`` — ask the AMPPM designer for the best
   super-symbol at a dimming level and print its properties.
 * ``journal`` — run a multicell network scenario and show its event
   journal (counters + tail); ``--jsonl FILE`` exports the full trace.
 * ``chaos`` — run one fault schedule against the supervised link and
   print its resilience report (and the determinism digest).
+* ``stats <file>`` — render a ``--telemetry`` JSONL dump: counters,
+  gauges, histograms, the span tree and run manifests
+  (``--prometheus`` emits the metrics in Prometheus text format).
 * ``info`` — the active configuration and derived constants.
+
+Error contract: every subcommand reports bad arguments on ``stderr``
+and returns exit code 2; ``stdout`` carries results only.
 """
 
 from __future__ import annotations
@@ -24,6 +33,14 @@ from typing import Sequence
 
 from .core import AmppmDesigner, SystemConfig
 from .experiments import experiment_ids, run_experiment
+from .obs import (
+    read_telemetry_jsonl,
+    render_prometheus,
+    render_text,
+    telemetry_session,
+    write_manifest,
+    write_telemetry_jsonl,
+)
 from .sim.export import write_figure_csv, write_json, write_table_csv
 from .sim.results import FigureResult
 
@@ -48,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--jobs", metavar="N", type=int, default=None,
                          help="fan sweep grids across up to N worker "
                               "processes (default: in-process)")
+    run_cmd.add_argument("--telemetry", metavar="FILE", default=None,
+                         help="record metrics/spans/manifests for the whole "
+                              "invocation as JSON lines into FILE")
 
     design_cmd = sub.add_parser("design",
                                 help="design a super-symbol for a dimming level")
@@ -85,8 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--unsupervised", action="store_true",
                            help="run the no-supervision baseline instead")
 
+    stats_cmd = sub.add_parser(
+        "stats", help="render a telemetry JSONL dump")
+    stats_cmd.add_argument("file", metavar="FILE",
+                           help="JSONL file written by run --telemetry")
+    stats_cmd.add_argument("--prometheus", action="store_true",
+                           help="emit the metrics in Prometheus text "
+                                "exposition format instead of aligned text")
+
     sub.add_parser("info", help="show the active configuration")
     return parser
+
+
+def _fail(err, message: str) -> int:
+    """The uniform bad-argument path: message on ``err``, exit code 2."""
+    print(message, file=err)
+    return 2
 
 
 def _cmd_list(out) -> int:
@@ -95,46 +129,69 @@ def _cmd_list(out) -> int:
     return 0
 
 
+def _write_exports(result, experiment_id: str, csv_dir: str | None,
+                   json_dir: str | None, out) -> None:
+    """CSV/JSON exports plus the manifest sidecar for one result."""
+    manifest = getattr(result, "manifest", None)
+    target_dirs: list[str] = []
+    for target_dir in (csv_dir, json_dir):
+        if target_dir is not None and target_dir not in target_dirs:
+            target_dirs.append(target_dir)
+    if manifest is not None:
+        for target_dir in target_dirs:
+            path = write_manifest(
+                manifest, Path(target_dir) / f"{experiment_id}.manifest.json")
+            print(f"[manifest] {path}", file=out)
+    if csv_dir is not None:
+        target = Path(csv_dir)
+        path = target / f"{experiment_id}.csv"
+        if isinstance(result, FigureResult):
+            write_figure_csv(result, path)
+        else:
+            write_table_csv(result, path)
+        print(f"[csv] {path}", file=out)
+    if json_dir is not None:
+        path = write_json(result, Path(json_dir) / f"{experiment_id}.json")
+        print(f"[json] {path}", file=out)
+
+
 def _cmd_run(ids: Sequence[str], csv_dir: str | None, json_dir: str | None,
-             out, jobs: int | None = None) -> int:
+             out, err, jobs: int | None = None,
+             telemetry: str | None = None) -> int:
     requested = list(ids) or experiment_ids()
     unknown = sorted(set(requested) - set(experiment_ids()))
     if unknown:
-        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
-        return 2
+        return _fail(err, f"unknown experiment ids: {unknown}")
     if jobs is not None and jobs < 1:
-        print(f"--jobs must be a positive integer, got {jobs}",
-              file=sys.stderr)
-        return 2
-    for experiment_id in requested:
-        result = run_experiment(experiment_id, jobs=jobs)
-        print("=" * 72, file=out)
-        print(result.render(), file=out)
-        if csv_dir is not None:
-            target = Path(csv_dir)
-            target.mkdir(parents=True, exist_ok=True)
-            path = target / f"{experiment_id}.csv"
-            if isinstance(result, FigureResult):
-                write_figure_csv(result, path)
-            else:
-                write_table_csv(result, path)
-            print(f"[csv] {path}", file=out)
-        if json_dir is not None:
-            target = Path(json_dir)
-            target.mkdir(parents=True, exist_ok=True)
-            path = write_json(result, target / f"{experiment_id}.json")
-            print(f"[json] {path}", file=out)
+        return _fail(err, f"--jobs must be a positive integer, got {jobs}")
+    for target_dir in (csv_dir, json_dir):
+        if target_dir is not None:
+            Path(target_dir).mkdir(parents=True, exist_ok=True)
+
+    def run_all() -> None:
+        for experiment_id in requested:
+            result = run_experiment(experiment_id, jobs=jobs)
+            print("=" * 72, file=out)
+            print(result.render(), file=out)
+            _write_exports(result, experiment_id, csv_dir, json_dir, out)
+
+    if telemetry is None:
+        run_all()
+        return 0
+    with telemetry_session() as session:
+        run_all()
+    path = write_telemetry_jsonl(session, telemetry)
+    print(f"[telemetry] {path}", file=out)
     return 0
 
 
-def _cmd_design(dimming: float, out) -> int:
+def _cmd_design(dimming: float, out, err) -> int:
     config = SystemConfig()
     designer = AmppmDesigner(config)
     lo, hi = designer.supported_range
     if not lo <= dimming <= hi:
-        print(f"dimming {dimming} outside supported range "
-              f"[{lo:.3f}, {hi:.3f}]", file=sys.stderr)
-        return 2
+        return _fail(err, f"dimming {dimming} outside supported range "
+                          f"[{lo:.3f}, {hi:.3f}]")
     design = designer.design(dimming)
     print(f"target dimming   : {dimming:.4f}", file=out)
     print(f"super-symbol     : {design.super_symbol}", file=out)
@@ -147,7 +204,7 @@ def _cmd_design(dimming: float, out) -> int:
 
 
 def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
-                 tail: int, jsonl: str | None, out) -> int:
+                 tail: int, jsonl: str | None, out, err) -> int:
     from .des import write_journal_jsonl
     from .net.multicell import default_network
 
@@ -155,13 +212,12 @@ def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
         rows_str, _, cols_str = grid.lower().partition("x")
         rows, cols = int(rows_str), int(cols_str)
     except ValueError:
-        print(f"--grid expects RxC (e.g. 2x3), got {grid!r}",
-              file=sys.stderr)
-        return 2
+        return _fail(err, f"--grid expects RxC (e.g. 2x3), got {grid!r}")
     if rows < 1 or cols < 1 or nodes < 1 or duration <= 0:
-        print("grid dimensions and --nodes must be positive, --duration > 0",
-              file=sys.stderr)
-        return 2
+        return _fail(err, "grid dimensions and --nodes must be positive, "
+                          "--duration > 0")
+    if tail < 0:
+        return _fail(err, f"--tail must be non-negative, got {tail}")
     simulation = default_network(rows=rows, cols=cols, n_nodes=nodes,
                                  seed=seed)
     result = simulation.run(duration)
@@ -180,25 +236,21 @@ def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
 
 
 def _cmd_chaos(schedule: str, duration: float, seed: int, intensity: float,
-               unsupervised: bool, out) -> int:
+               unsupervised: bool, out, err) -> int:
     from .resilience import ChaosScenario, FaultSchedule, shipped_schedules
 
     if duration <= 0:
-        print("--duration must be positive", file=sys.stderr)
-        return 2
+        return _fail(err, "--duration must be positive")
     if schedule == "random":
         if not 0.0 <= intensity <= 1.0:
-            print(f"--intensity must lie in [0, 1], got {intensity}",
-                  file=sys.stderr)
-            return 2
+            return _fail(err,
+                         f"--intensity must lie in [0, 1], got {intensity}")
         plan = FaultSchedule.random(seed, duration, intensity)
     else:
         shipped = shipped_schedules(duration)
         if schedule not in shipped:
             known = sorted(shipped) + ["random"]
-            print(f"unknown schedule {schedule!r}; known: {known}",
-                  file=sys.stderr)
-            return 2
+            return _fail(err, f"unknown schedule {schedule!r}; known: {known}")
         plan = shipped[schedule]
     scenario = ChaosScenario(schedule=plan, duration_s=duration, seed=seed,
                              supervised=not unsupervised)
@@ -206,6 +258,21 @@ def _cmd_chaos(schedule: str, duration: float, seed: int, intensity: float,
     print(f"chaos schedule {schedule!r}, seed {seed}, "
           f"{len(plan)} faults", file=out)
     print(result.report.render(), file=out)
+    return 0
+
+
+def _cmd_stats(file: str, prometheus: bool, out, err) -> int:
+    path = Path(file)
+    if not path.is_file():
+        return _fail(err, f"no such telemetry file: {path}")
+    try:
+        session = read_telemetry_jsonl(path)
+    except ValueError as exc:
+        return _fail(err, f"not a telemetry JSONL file: {exc}")
+    if prometheus:
+        out.write(render_prometheus(session.registry))
+    else:
+        print(render_text(session), file=out)
     return 0
 
 
@@ -229,22 +296,30 @@ def _cmd_info(out) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None, out=None) -> int:
-    """Entry point; returns a process exit code."""
+def main(argv: Sequence[str] | None = None, out=None, err=None) -> int:
+    """Entry point; returns a process exit code.
+
+    ``out`` carries results, ``err`` carries error messages (defaults:
+    ``sys.stdout`` / ``sys.stderr``); bad arguments return exit code 2.
+    """
     out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
-        return _cmd_run(args.ids, args.csv, args.json, out, jobs=args.jobs)
+        return _cmd_run(args.ids, args.csv, args.json, out, err,
+                        jobs=args.jobs, telemetry=args.telemetry)
     if args.command == "design":
-        return _cmd_design(args.dimming, out)
+        return _cmd_design(args.dimming, out, err)
     if args.command == "journal":
         return _cmd_journal(args.grid, args.nodes, args.duration, args.seed,
-                            args.tail, args.jsonl, out)
+                            args.tail, args.jsonl, out, err)
     if args.command == "chaos":
         return _cmd_chaos(args.schedule, args.duration, args.seed,
-                          args.intensity, args.unsupervised, out)
+                          args.intensity, args.unsupervised, out, err)
+    if args.command == "stats":
+        return _cmd_stats(args.file, args.prometheus, out, err)
     if args.command == "info":
         return _cmd_info(out)
     raise AssertionError(f"unhandled command {args.command!r}")

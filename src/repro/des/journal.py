@@ -99,11 +99,18 @@ class EventJournal:
         return float(sum(e.get(key, 0.0) for e in self.of_kind(kind)))
 
     def mean(self, kind: str, key: str) -> float:
-        """Mean of a numeric detail value over all entries of a kind."""
-        matching = self.of_kind(kind)
-        if not matching:
-            raise ValueError(f"no {kind!r} entries to average")
-        return self.total(kind, key) / len(matching)
+        """Mean of a numeric detail value over entries that carry it.
+
+        Entries of the right kind but *without* the key are excluded —
+        previously they entered the denominator as zeros and silently
+        dragged the mean towards 0.  :meth:`total` keeps its sum-over-
+        all-entries semantics (a missing key contributes nothing).
+        """
+        values = [value for e in self.of_kind(kind)
+                  if (value := e.get(key)) is not None]
+        if not values:
+            raise ValueError(f"no {kind!r} entries with {key!r} to average")
+        return float(sum(values)) / len(values)
 
     def digest(self) -> str:
         """A SHA-256 fingerprint of the entire trace.

@@ -24,6 +24,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from ..obs import metrics, span
 from .journal import EventJournal
 
 
@@ -209,12 +210,20 @@ class EventScheduler:
         if until_s is not None and until_s < self._now:
             raise ValueError("until_s lies in the past")
         dispatched = 0
-        while self._heap:
-            if max_events is not None and dispatched >= max_events:
-                break
-            next_time = self._heap[0][0]
-            if until_s is not None and next_time > until_s:
-                break
-            if self.step() is not None:
-                dispatched += 1
+        with span("des.run", until_s=until_s):
+            while self._heap:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                next_time = self._heap[0][0]
+                if until_s is not None and next_time > until_s:
+                    break
+                if self.step() is not None:
+                    dispatched += 1
+        registry = metrics()
+        registry.counter("repro_des_events_dispatched_total",
+                         help="events dispatched by the DES kernel") \
+            .inc(dispatched)
+        registry.gauge("repro_des_clock_seconds",
+                       help="simulation clock after the latest run") \
+            .set_max(self._now)
         return dispatched

@@ -4,13 +4,29 @@ Each experiment module registers its runner here; benchmarks, the CLI
 renderer and EXPERIMENTS.md generation all go through
 :func:`run_experiment` so there is exactly one way to regenerate any
 artefact of the paper.
+
+:func:`run_experiment` is also the telemetry choke point: every run
+executes inside an ``experiment.<id>`` span, and every returned
+:class:`~repro.sim.results.FigureResult` /
+:class:`~repro.sim.results.TableResult` comes back with a
+:class:`~repro.obs.manifest.RunManifest` attached — the experiment id,
+the exact configuration digest, the seeds it ran with, the package
+version, wall time, and (when a telemetry session is active) the
+metrics the run produced.  The manifest is provenance only: it is
+excluded from result equality and rendering, so golden outputs stay
+bit-identical.
 """
 
 from __future__ import annotations
 
 import inspect
+import time
+from dataclasses import replace
+from datetime import datetime, timezone
 
-from ..sim.results import ExperimentRegistry
+from ..core.params import DEFAULT_CONFIG, SystemConfig
+from ..obs import RunManifest, active, config_digest, record_manifest, span
+from ..sim.results import ExperimentRegistry, FigureResult, TableResult
 
 REGISTRY = ExperimentRegistry()
 
@@ -32,20 +48,60 @@ def _accepts_jobs(func) -> bool:
                    for p in params.values()))
 
 
+def _manifest_for(experiment_id: str, kwargs: dict, wall_time_s: float,
+                  started_at_utc: str, metrics_snapshot: dict) -> RunManifest:
+    """Build the provenance record of one finished run."""
+    from .. import __version__
+
+    config = kwargs.get("config")
+    if not isinstance(config, SystemConfig):
+        config = DEFAULT_CONFIG
+    seeds = tuple(v for k, v in sorted(kwargs.items())
+                  if "seed" in k and isinstance(v, int))
+    extra = {k: v for k, v in kwargs.items() if k != "config"}
+    return RunManifest(
+        experiment_id=experiment_id,
+        config_digest=config_digest(config),
+        version=__version__,
+        seeds=seeds,
+        args=repr(dict(sorted(extra.items()))) if extra else "",
+        started_at_utc=started_at_utc,
+        wall_time_s=wall_time_s,
+        metrics=metrics_snapshot,
+    )
+
+
 def run_experiment(experiment_id: str, jobs: int | None = None, **kwargs):
     """Run one experiment by id (see :func:`experiment_ids`).
 
     ``jobs`` caps the worker-process count for runners that sweep their
     grid through :class:`~repro.sim.sweep.SweepRunner`; runners whose
     signature does not accept it (cheap single-point tables) silently
-    ignore it.
+    ignore it.  The returned result carries a
+    :class:`~repro.obs.manifest.RunManifest` (see the module
+    docstring).
     """
     # Importing the package registers all runners.
     from . import ALL_EXPERIMENTS  # noqa: F401
 
-    if jobs is not None and _accepts_jobs(REGISTRY.get(experiment_id)):
+    runner = REGISTRY.get(experiment_id)
+    if jobs is not None and _accepts_jobs(runner):
         kwargs["jobs"] = jobs
-    return REGISTRY.run(experiment_id, **kwargs)
+
+    session = active()
+    started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    t0 = time.perf_counter()
+    with span(f"experiment.{experiment_id}"):
+        result = REGISTRY.run(experiment_id, **kwargs)
+    wall_time_s = time.perf_counter() - t0
+
+    snapshot: dict = {} if session is None else session.registry.snapshot()
+    manifest = _manifest_for(experiment_id, kwargs, wall_time_s, started_at,
+                             snapshot)
+    record_manifest(manifest)
+    if isinstance(result, (FigureResult, TableResult)):
+        result = replace(result, manifest=manifest)
+    return result
 
 
 def experiment_ids() -> list[str]:

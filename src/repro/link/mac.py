@@ -24,6 +24,7 @@ import numpy as np
 from ..baselines.base import SchemeDesign
 from ..core.errormodel import SlotErrorModel
 from ..core.params import SystemConfig
+from ..obs import metrics, span
 from .frame import FrameError
 from .receiver import Receiver
 from .supervision import BackoffPolicy, LinkSupervisor
@@ -173,56 +174,82 @@ class StopAndWaitMac:
                 return inner(slots, generator)
         stats = MacStats()
         now = 0.0
-        for payload in payloads:
-            slots = self._tx.encode_frame(payload, design)
-            airtime = len(slots) * self.config.t_slot
-            delivered = False
-            receiver_has_copy = False  # alternating-bit dedup state
-            for attempt in range(self.max_retries + 1):
-                stats.frames_sent += 1
-                if attempt > 0:
-                    stats.retransmissions += 1
-                stats.airtime_s += airtime
-                now += airtime
-                received = corrupt(list(slots), rng, now)
-                ack_at = None
-                decoded = False
-                try:
-                    frame = self._rx.decode_frame(received)
-                    decoded = frame.payload == payload
-                except FrameError:
-                    decoded = False  # receiver stays silent on CRC failure
-                if decoded:
-                    # Same sequence number: suppress the duplicate but
-                    # re-ACK so the transmitter can move on.
-                    if receiver_has_copy:
-                        stats.duplicates_suppressed += 1
+        with span("mac.run", payloads=len(payloads)):
+            for payload in payloads:
+                slots = self._tx.encode_frame(payload, design)
+                airtime = len(slots) * self.config.t_slot
+                delivered = False
+                receiver_has_copy = False  # alternating-bit dedup state
+                for attempt in range(self.max_retries + 1):
+                    stats.frames_sent += 1
+                    if attempt > 0:
+                        stats.retransmissions += 1
+                    stats.airtime_s += airtime
+                    now += airtime
+                    received = corrupt(list(slots), rng, now)
+                    ack_at = None
+                    decoded = False
+                    try:
+                        frame = self._rx.decode_frame(received)
+                        decoded = frame.payload == payload
+                    except FrameError:
+                        decoded = False  # receiver stays silent on CRC failure
+                    if decoded:
+                        # Same sequence number: suppress the duplicate but
+                        # re-ACK so the transmitter can move on.
+                        if receiver_has_copy:
+                            stats.duplicates_suppressed += 1
+                        else:
+                            receiver_has_copy = True
+                            stats.payload_bits_delivered += 8 * len(payload)
+                        ack_at = self.uplink.deliver(now, rng)
+                    if ack_at is not None:
+                        now = max(now, ack_at)
+                        delivered = True
+                        stats.frames_delivered += 1
+                        stats.payload_bits_acked += 8 * len(payload)
+                        if self.supervisor is not None:
+                            self.supervisor.on_success(now)
+                        break
+                    if decoded:
+                        stats.ack_losses += 1
                     else:
-                        receiver_has_copy = True
-                        stats.payload_bits_delivered += 8 * len(payload)
-                    ack_at = self.uplink.deliver(now, rng)
-                if ack_at is not None:
-                    now = max(now, ack_at)
-                    delivered = True
-                    stats.frames_delivered += 1
-                    stats.payload_bits_acked += 8 * len(payload)
+                        stats.crc_failures += 1
+                    now += self.timeout_for(attempt)
                     if self.supervisor is not None:
-                        self.supervisor.on_success(now)
-                    break
-                if decoded:
-                    stats.ack_losses += 1
-                else:
-                    stats.crc_failures += 1
-                now += self.timeout_for(attempt)
-                if self.supervisor is not None:
-                    self.supervisor.on_failure(
-                        now, reason="ack-loss" if decoded else "crc")
-            if not delivered:
-                # Give up on this payload (upper layers would resubmit).
-                stats.frames_abandoned += 1
-                continue
+                        self.supervisor.on_failure(
+                            now, reason="ack-loss" if decoded else "crc")
+                if not delivered:
+                    # Give up on this payload (upper layers would resubmit).
+                    stats.frames_abandoned += 1
+                    continue
         stats.elapsed_s = now
+        self._record_metrics(stats)
         return stats
+
+    @staticmethod
+    def _record_metrics(stats: MacStats) -> None:
+        """Fold one session's counters into the telemetry registry.
+
+        Recorded once per session from the finished :class:`MacStats`,
+        so the per-attempt loop itself carries no telemetry cost.
+        """
+        registry = metrics()
+        for name, value, help_text in (
+                ("repro_mac_frames_sent_total", stats.frames_sent,
+                 "MAC transmission attempts"),
+                ("repro_mac_frames_delivered_total", stats.frames_delivered,
+                 "MAC frames acknowledged"),
+                ("repro_mac_retransmissions_total", stats.retransmissions,
+                 "MAC retransmissions"),
+                ("repro_mac_crc_failures_total", stats.crc_failures,
+                 "MAC attempts lost to CRC/decode failure"),
+                ("repro_mac_ack_losses_total", stats.ack_losses,
+                 "MAC attempts whose Wi-Fi ACK was lost"),
+                ("repro_mac_frames_abandoned_total", stats.frames_abandoned,
+                 "MAC payloads given up on after every retry")):
+            if value:
+                registry.counter(name, help=help_text).inc(value)
 
     def expected_throughput(self, design: SchemeDesign,
                             errors: SlotErrorModel,

@@ -1,0 +1,274 @@
+"""Telemetry exporters: JSONL, Prometheus text format, aligned text.
+
+Three consumers, three formats:
+
+* :func:`write_telemetry_jsonl` / :func:`read_telemetry_jsonl` — the
+  machine round-trip.  One self-describing JSON object per line
+  (``type`` is ``counter`` / ``gauge`` / ``histogram`` / ``span`` /
+  ``manifest``), so external tooling can stream-filter a dump without
+  a schema, and ``repro stats`` can rebuild the full session.
+* :func:`render_prometheus` — the metrics half in Prometheus text
+  exposition format (cumulative ``_bucket`` series, ``_sum`` and
+  ``_count``), ready for a pushgateway or a scrape-file exporter.
+* :func:`render_text` — counters, histograms and the span tree as
+  aligned terminal text, consistent with
+  :meth:`repro.des.journal.EventJournal.render`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from .manifest import RunManifest
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import Telemetry
+from .spans import SpanRecord, span_tree
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _labels_dict(key) -> dict[str, str]:
+    return {k: v for k, v in key}
+
+
+def telemetry_rows(session: Telemetry) -> list[dict[str, Any]]:
+    """Flatten a session into JSONL-ready records (one dict per line)."""
+    rows: list[dict[str, Any]] = []
+    registry = session.registry
+    for name in registry.names():
+        metric = registry.get(name)
+        if isinstance(metric, Counter):
+            for key, value in sorted(metric.series().items()):
+                rows.append({"type": "counter", "name": name,
+                             "help": metric.help,
+                             "labels": _labels_dict(key), "value": value})
+        elif isinstance(metric, Gauge):
+            for key, value in sorted(metric.series().items()):
+                rows.append({"type": "gauge", "name": name,
+                             "help": metric.help,
+                             "labels": _labels_dict(key), "value": value})
+        elif isinstance(metric, Histogram):
+            for key, cells in sorted(metric.series().items()):
+                counts, count, total = cells
+                rows.append({"type": "histogram", "name": name,
+                             "help": metric.help,
+                             "labels": _labels_dict(key),
+                             "buckets": list(metric.buckets),
+                             "bucket_counts": list(counts),
+                             "count": count, "sum": total})
+    for record in session.spans.records:
+        row = record.as_dict()
+        row["type"] = "span"
+        rows.append(row)
+    for manifest in session.manifests:
+        row = manifest.as_dict()
+        row["type"] = "manifest"
+        rows.append(row)
+    return rows
+
+
+def write_telemetry_jsonl(session: Telemetry, path: str | Path) -> Path:
+    """Write a whole session as JSON lines; returns the written path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for row in telemetry_rows(session):
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def read_telemetry_jsonl(path: str | Path) -> Telemetry:
+    """Rebuild a session from a :func:`write_telemetry_jsonl` dump.
+
+    Raises ``ValueError`` on malformed lines or unknown record types,
+    so ``repro stats`` can reject a non-telemetry file cleanly.
+    """
+    path = Path(path)
+    session = Telemetry()
+    registry = session.registry
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+        if not isinstance(row, dict) or "type" not in row:
+            raise ValueError(f"{path}:{lineno}: not a telemetry record")
+        kind = row["type"]
+        labels = row.get("labels", {})
+        if kind == "counter":
+            registry.counter(row["name"], help=row.get("help", "")) \
+                .inc(row["value"], **labels)
+        elif kind == "gauge":
+            registry.gauge(row["name"], help=row.get("help", "")) \
+                .set_max(row["value"], **labels)
+        elif kind == "histogram":
+            hist = registry.histogram(row["name"], help=row.get("help", ""),
+                                      buckets=row["buckets"])
+            cells = hist._cells(labels)
+            for i, c in enumerate(row["bucket_counts"]):
+                cells[0][i] += c
+            cells[1] += row["count"]
+            cells[2] += row["sum"]
+        elif kind == "span":
+            session.spans._finished.append(SpanRecord(
+                span_id=row["span_id"], parent_id=row.get("parent_id"),
+                name=row["name"], depth=row.get("depth", 0),
+                start_s=row["start_s"], duration_s=row["duration_s"],
+                attrs=tuple(sorted(row.get("attrs", {}).items()))))
+        elif kind == "manifest":
+            session.manifests.append(RunManifest.from_dict(row))
+        else:
+            raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return session
+
+
+# -- Prometheus text exposition format ---------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_NAME.sub("_", name)
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text format (metrics only, no spans)."""
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        prom = _prom_name(name)
+        if metric.help:
+            lines.append(f"# HELP {prom} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            for key, value in sorted(metric.series().items()):
+                lines.append(
+                    f"{prom}{_prom_labels(_labels_dict(key))} "
+                    f"{_prom_value(value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            for key, value in sorted(metric.series().items()):
+                lines.append(
+                    f"{prom}{_prom_labels(_labels_dict(key))} "
+                    f"{_prom_value(value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {prom} histogram")
+            for key, cells in sorted(metric.series().items()):
+                labels = _labels_dict(key)
+                counts, count, total = cells
+                cumulative = 0
+                for bound, n in zip(metric.buckets, counts):
+                    cumulative += n
+                    le = 'le="%g"' % bound
+                    lines.append(f"{prom}_bucket{_prom_labels(labels, le)} "
+                                 f"{cumulative}")
+                cumulative += counts[-1]
+                le_inf = 'le="+Inf"'
+                lines.append(f"{prom}_bucket{_prom_labels(labels, le_inf)} "
+                             f"{cumulative}")
+                lines.append(
+                    f"{prom}_sum{_prom_labels(labels)} {_prom_value(total)}")
+                lines.append(f"{prom}_count{_prom_labels(labels)} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- aligned terminal text ---------------------------------------------
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return f"{int(value)}"
+    return f"{value:.6g}"
+
+
+def render_text(session: Telemetry, max_spans: int = 40) -> str:
+    """Counters, gauges, histograms and the span tree as aligned text."""
+    registry = session.registry
+    names = registry.names()
+    counters = [n for n in names if isinstance(registry.get(n), Counter)]
+    gauges = [n for n in names if isinstance(registry.get(n), Gauge)]
+    hists = [n for n in names if isinstance(registry.get(n), Histogram)]
+    spans = session.spans.records
+    lines = [f"telemetry: {len(counters)} counters, {len(gauges)} gauges, "
+             f"{len(hists)} histograms, {len(spans)} spans, "
+             f"{len(session.manifests)} manifests"]
+
+    def metric_rows(metric_names):
+        rows = []
+        for name in metric_names:
+            metric = registry.get(name)
+            for key, value in sorted(metric.series().items()):
+                rows.append((f"{name}{_fmt_labels(_labels_dict(key))}",
+                             _fmt_value(value)))
+        return rows
+
+    for title, rows in (("counters", metric_rows(counters)),
+                        ("gauges", metric_rows(gauges))):
+        if rows:
+            lines.append(f"{title}:")
+            width = max(len(label) for label, _ in rows)
+            for label, value in rows:
+                lines.append(f"  {label:<{width}}  {value:>12}")
+
+    if hists:
+        lines.append("histograms:")
+        for name in hists:
+            metric = registry.get(name)
+            for key, cells in sorted(metric.series().items()):
+                counts, count, total = cells
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"  {name}{_fmt_labels(_labels_dict(key))}  "
+                    f"count {count}  sum {total:.6g}  mean {mean:.6g}")
+                for bound, n in zip(metric.buckets, counts):
+                    if n:
+                        lines.append(f"    le {bound:<10g} {n:>8}")
+                if counts[-1]:
+                    lines.append(f"    le +Inf       {counts[-1]:>8}")
+
+    if spans:
+        lines.append("spans:")
+        shown = 0
+
+        def walk(nodes):
+            nonlocal shown
+            for record, children in nodes:
+                if shown >= max_spans:
+                    return
+                attrs = " ".join(f"{k}={v}" for k, v in record.attrs)
+                label = ("  " + "  " * record.depth + record.name
+                         + (f"  [{attrs}]" if attrs else ""))
+                lines.append(f"{label:<56} {record.duration_s * 1e3:>10.2f} ms")
+                shown += 1
+                walk(children)
+
+        walk(span_tree(spans))
+        if len(spans) > shown:
+            lines.append(f"  ... {len(spans) - shown} more spans")
+
+    if session.manifests:
+        lines.append("manifests:")
+        for manifest in session.manifests:
+            lines.append(f"  {manifest.summary()}")
+    return "\n".join(lines)

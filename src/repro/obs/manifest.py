@@ -1,0 +1,111 @@
+"""Run manifests: the provenance record of one regenerated artefact.
+
+Every experiment run answers, months later, the questions "which code,
+which configuration, which seeds produced this CSV?".  A
+:class:`RunManifest` pins:
+
+* the experiment id and the extra arguments it ran with;
+* a SHA-256 digest of the :class:`~repro.core.params.SystemConfig`
+  (:func:`config_digest` — exact over the dataclass fields' reprs);
+* the seeds involved, the package version, the UTC start stamp and the
+  wall time;
+* a metrics snapshot (when a telemetry session was active) and the
+  event-journal digest (when the run produced a journal).
+
+Manifests are attached to :class:`~repro.sim.results.FigureResult` /
+:class:`~repro.sim.results.TableResult` on a ``compare=False`` field
+and written as ``<id>.manifest.json`` sidecars next to CSV/JSON
+exports.  They are *descriptive only*: wall time and timestamps never
+feed result values, renders, or determinism digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.params import SystemConfig
+
+
+def config_digest(config: SystemConfig) -> str:
+    """A SHA-256 fingerprint of a configuration's exact field values.
+
+    Fields are hashed through ``repr`` in sorted order, so two digests
+    agree iff every parameter is bit-identical.
+    """
+    fields = dataclasses.asdict(config)
+    text = "|".join(f"{k}={fields[k]!r}" for k in sorted(fields))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one experiment run (see the module docstring)."""
+
+    experiment_id: str
+    config_digest: str
+    version: str
+    seeds: tuple[int, ...] = ()
+    args: str = ""
+    started_at_utc: str = ""
+    wall_time_s: float = 0.0
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    journal_digest: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-able dict form (the sidecar/export format)."""
+        return {
+            "kind": "manifest",
+            "experiment_id": self.experiment_id,
+            "config_digest": self.config_digest,
+            "version": self.version,
+            "seeds": list(self.seeds),
+            "args": self.args,
+            "started_at_utc": self.started_at_utc,
+            "wall_time_s": self.wall_time_s,
+            "metrics": dict(self.metrics),
+            "journal_digest": self.journal_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`as_dict` output."""
+        return cls(
+            experiment_id=row["experiment_id"],
+            config_digest=row["config_digest"],
+            version=row["version"],
+            seeds=tuple(row.get("seeds", ())),
+            args=row.get("args", ""),
+            started_at_utc=row.get("started_at_utc", ""),
+            wall_time_s=row.get("wall_time_s", 0.0),
+            metrics=dict(row.get("metrics", {})),
+            journal_digest=row.get("journal_digest"),
+        )
+
+    def to_json(self) -> str:
+        """The manifest as an indented JSON document."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        """A one-line human summary (used by ``repro stats``)."""
+        bits = [self.experiment_id or "?",
+                f"config {self.config_digest[:12]}",
+                f"v{self.version}"]
+        if self.seeds:
+            bits.append("seeds " + ",".join(str(s) for s in self.seeds))
+        if self.wall_time_s:
+            bits.append(f"{self.wall_time_s:.3f} s")
+        if self.journal_digest:
+            bits.append(f"journal {self.journal_digest[:12]}")
+        return "  ".join(bits)
+
+
+def write_manifest(manifest: RunManifest, path: str | Path) -> Path:
+    """Write one manifest as an indented JSON sidecar file."""
+    path = Path(path)
+    path.write_text(manifest.to_json() + "\n")
+    return path

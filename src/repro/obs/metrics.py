@@ -1,0 +1,384 @@
+"""Labelled metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the quantitative half of the telemetry layer (spans in
+:mod:`repro.obs.spans` are the temporal half).  Three metric kinds, all
+keyed by a name plus a frozen label set:
+
+* :class:`Counter` — a monotonically increasing sum (``inc``);
+* :class:`Gauge` — a last-written level (``set``), merged across
+  shards by taking the maximum;
+* :class:`Histogram` — observations bucketed into *fixed* upper bounds
+  chosen at creation, plus a running count and sum.
+
+Two properties shape the design:
+
+**Mergeability.** ``SweepRunner`` fans grid points across a
+:class:`~concurrent.futures.ProcessPoolExecutor`; each worker records
+into its own registry and ships a picklable :meth:`snapshot` back.
+:func:`merge` combines any two registries into a new one and is
+associative and commutative (counters and histogram buckets add,
+gauges take the max), so the parent can fold worker shards in any
+order — scheduling never changes the aggregate.
+
+**A free null path.** Telemetry is off by default.  The module-level
+:data:`NULL_REGISTRY` hands out shared no-op metric objects whose
+``inc``/``set``/``observe`` are empty methods, so instrumentation left
+in the hot loops costs one attribute call when disabled — no branches,
+no allocation, no dictionary lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+LabelKey = tuple  # tuple[tuple[str, str], ...] — a frozen label set
+
+#: Default histogram upper bounds: wall-time seconds, log-ish spaced.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonical frozen form of a label set (sorted, stringified)."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A labelled, monotonically increasing sum."""
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be non-negative) to one label series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The current sum for one label set (0.0 if never incremented)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        """All ``label-key -> value`` pairs (a shallow copy)."""
+        return dict(self._series)
+
+
+class Gauge:
+    """A labelled level: last write wins locally, max wins across shards."""
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the gauge for one label set."""
+        self._series[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Raise the gauge to ``value`` if it is higher (peak tracking)."""
+        key = _label_key(labels)
+        current = self._series.get(key)
+        if current is None or value > current:
+            self._series[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        """The current level for one label set (0.0 if never set)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        """All ``label-key -> value`` pairs (a shallow copy)."""
+        return dict(self._series)
+
+
+class Histogram:
+    """Observations in fixed buckets, plus running count and sum.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the tail, so every observation lands somewhere.  Buckets
+    are fixed at creation — two histograms only merge when their bounds
+    agree exactly, which keeps the merge associative.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_series")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        # label-key -> [bucket counts (incl. +Inf), count, sum]
+        self._series: dict[LabelKey, list] = {}
+
+    def _cells(self, labels: Mapping[str, Any]) -> list:
+        key = _label_key(labels)
+        cells = self._series.get(key)
+        if cells is None:
+            cells = [[0] * (len(self.buckets) + 1), 0, 0.0]
+            self._series[key] = cells
+        return cells
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation."""
+        cells = self._cells(labels)
+        counts, _, _ = cells
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        cells[1] += 1
+        cells[2] += float(value)
+
+    def observe_many(self, values: Iterable[float], **labels: Any) -> None:
+        """Record a batch of observations (one Python loop, no arrays)."""
+        for value in values:
+            self.observe(value, **labels)
+
+    def count(self, **labels: Any) -> int:
+        """Total observations for one label set."""
+        cells = self._series.get(_label_key(labels))
+        return cells[1] if cells else 0
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations for one label set."""
+        cells = self._series.get(_label_key(labels))
+        return cells[2] if cells else 0.0
+
+    def bucket_counts(self, **labels: Any) -> tuple[int, ...]:
+        """Per-bucket counts (last entry is the +Inf overflow bucket)."""
+        cells = self._series.get(_label_key(labels))
+        if cells is None:
+            return tuple([0] * (len(self.buckets) + 1))
+        return tuple(cells[0])
+
+    def series(self) -> dict[LabelKey, list]:
+        """All ``label-key -> [bucket counts, count, sum]`` (deep-ish copy)."""
+        return {k: [list(v[0]), v[1], v[2]] for k, v in self._series.items()}
+
+
+class _NullMetric:
+    """Shared no-op stand-in for every metric kind (telemetry off)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """No-op."""
+
+    def set(self, value: float, **labels: Any) -> None:
+        """No-op."""
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """No-op."""
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """No-op."""
+
+    def observe_many(self, values: Iterable[float], **labels: Any) -> None:
+        """No-op."""
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create home for every named metric of one session.
+
+    Re-requesting a name returns the existing object; requesting it as
+    a different kind (or a histogram with different buckets) raises, so
+    instrumentation sites cannot silently split a metric.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if type(metric) is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name`` (created on first request)."""
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name`` (created on first request)."""
+        return self._get(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name`` (created on first request).
+
+        A repeat request must carry the same bucket bounds.
+        """
+        metric = self._get(name, Histogram, help=help, buckets=buckets)
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets}")
+        return metric
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __bool__(self) -> bool:
+        # An empty registry is still a real registry.
+        return True
+
+    # -- snapshots and merging ------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable, JSON-able copy of every metric's state.
+
+        The inverse is :meth:`from_snapshot`; ``absorb`` folds a
+        snapshot from another process into this registry.
+        """
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                out["counters"][name] = {
+                    "help": metric.help,
+                    "series": [[list(map(list, k)), v]
+                               for k, v in sorted(metric.series().items())],
+                }
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = {
+                    "help": metric.help,
+                    "series": [[list(map(list, k)), v]
+                               for k, v in sorted(metric.series().items())],
+                }
+            else:
+                out["histograms"][name] = {
+                    "help": metric.help,
+                    "buckets": list(metric.buckets),
+                    "series": [[list(map(list, k)), cells]
+                               for k, cells in sorted(metric.series().items())],
+                }
+        return out
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict."""
+        registry = cls()
+        registry.absorb(snapshot)
+        return registry
+
+    def absorb(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot into this registry in place.
+
+        Counters and histogram cells add; gauges take the maximum —
+        the same rules as :func:`merge`.
+        """
+        for name, body in snapshot.get("counters", {}).items():
+            counter = self.counter(name, help=body.get("help", ""))
+            for raw_key, value in body["series"]:
+                labels = {k: v for k, v in raw_key}
+                counter.inc(value, **labels)
+        for name, body in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name, help=body.get("help", ""))
+            for raw_key, value in body["series"]:
+                labels = {k: v for k, v in raw_key}
+                gauge.set_max(value, **labels)
+        for name, body in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, help=body.get("help", ""),
+                                  buckets=body["buckets"])
+            for raw_key, cells in body["series"]:
+                labels = {k: v for k, v in raw_key}
+                target = hist._cells(labels)
+                counts, count, total = cells
+                for i, c in enumerate(counts):
+                    target[0][i] += c
+                target[1] += count
+                target[2] += total
+
+
+class NullRegistry:
+    """The telemetry-off registry: every metric is the shared no-op.
+
+    Duck-types :class:`MetricsRegistry` for the recording half of the
+    API; reading (``names``/``snapshot``) reports emptiness.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> _NullMetric:
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def names(self) -> list[str]:
+        """Always empty."""
+        return []
+
+    def get(self, name: str) -> None:
+        """Always None."""
+        return None
+
+    def snapshot(self) -> dict:
+        """An empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def absorb(self, snapshot: Mapping[str, Any]) -> None:
+        """Discard the shard (telemetry is off)."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()
+"""The shared disabled registry handed out when no session is active."""
+
+
+def merge(a: MetricsRegistry, b: MetricsRegistry) -> MetricsRegistry:
+    """Combine two registries into a new one (pure; inputs untouched).
+
+    Counters and histogram cells add, gauges take the elementwise
+    maximum — all associative and commutative, so folding worker shards
+    in any order or grouping yields the same aggregate (exactly so for
+    integer-valued series; float sums commute and agree to rounding).
+    """
+    out = MetricsRegistry()
+    out.absorb(a.snapshot())
+    out.absorb(b.snapshot())
+    return out

@@ -1,0 +1,94 @@
+"""The active telemetry session and the instrumentation entry points.
+
+Instrumented code touches telemetry through exactly two calls:
+
+* ``metrics()`` — the active session's :class:`MetricsRegistry`, or
+  the shared :data:`~repro.obs.metrics.NULL_REGISTRY` when telemetry
+  is off; and
+* ``span(name, **attrs)`` — a timed context manager under the active
+  session, or the shared no-op :data:`~repro.obs.spans.NULL_SPAN`.
+
+Both are one module-global read plus a ``None`` check on the disabled
+path, so instrumentation can stay in the hot loops permanently.  A
+session is opened with::
+
+    with telemetry_session() as session:
+        run_experiment("fig16")
+        write_telemetry_jsonl(session, "telemetry.jsonl")
+
+Sessions nest (the previous one is restored on exit), which is also
+how :class:`~repro.sim.sweep.SweepRunner` workers isolate their shard:
+each child process opens its own session around its grid point and
+ships the registry snapshot back for the parent to absorb.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .manifest import RunManifest
+from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from .spans import NULL_SPAN, NullSpan, SpanRecorder, _OpenSpan
+
+
+class Telemetry:
+    """One telemetry session: a registry, a span recorder, manifests."""
+
+    __slots__ = ("registry", "spans", "manifests")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self.manifests: list[RunManifest] = []
+
+
+_SESSION: Telemetry | None = None
+
+
+def active() -> Telemetry | None:
+    """The active session, or None when telemetry is off."""
+    return _SESSION
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is currently active."""
+    return _SESSION is not None
+
+
+def metrics() -> MetricsRegistry | NullRegistry:
+    """The active registry, or the shared null registry when off."""
+    session = _SESSION
+    return NULL_REGISTRY if session is None else session.registry
+
+
+def span(name: str, **attrs: Any) -> "_OpenSpan | NullSpan":
+    """A timed span under the active session (no-op when off)."""
+    session = _SESSION
+    if session is None:
+        return NULL_SPAN
+    return session.spans.span(name, **attrs)
+
+
+def record_manifest(manifest: RunManifest) -> None:
+    """Attach a run manifest to the active session (dropped when off)."""
+    session = _SESSION
+    if session is not None:
+        session.manifests.append(manifest)
+
+
+@contextmanager
+def telemetry_session() -> Iterator[Telemetry]:
+    """Activate a fresh session for the block; restore the previous one.
+
+    The yielded :class:`Telemetry` stays readable after the block — the
+    usual shape is to run work inside and export afterwards.
+    """
+    global _SESSION
+    previous = _SESSION
+    session = Telemetry()
+    _SESSION = session
+    try:
+        yield session
+    finally:
+        _SESSION = previous

@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.params import SystemConfig
+from ..obs import metrics, span
 from .adc import AdcModel
 from .channel import VlcChannel
 from .led import LedModel
@@ -81,7 +82,10 @@ class WaveformSynthesizer:
         current = channel.photodiode.receive(optical_power, ambient, rng)
         if adc is None:
             adc = self.default_adc(channel, geometry, ambient)
-        return adc.convert(current)
+        samples = adc.convert(current)
+        metrics().counter("repro_waveform_samples_total",
+                          help="ADC samples synthesised").inc(samples.size)
+        return samples
 
     def received_samples_batch(self, slots: Sequence[bool],
                                channel: VlcChannel, geometry: LinkGeometry,
@@ -99,13 +103,18 @@ class WaveformSynthesizer:
         """
         if n_copies < 1:
             raise ValueError("n_copies must be positive")
-        light = self.emitted_waveform(slots)
-        optical_power = light * channel.optics.received_power_w(geometry)
-        current = channel.photodiode.receive_batch(
-            optical_power, ambient, rng, n_copies)
-        if adc is None:
-            adc = self.default_adc(channel, geometry, ambient)
-        return adc.convert(current)
+        with span("waveform.received_samples_batch", n_copies=n_copies,
+                  n_slots=len(slots)):
+            light = self.emitted_waveform(slots)
+            optical_power = light * channel.optics.received_power_w(geometry)
+            current = channel.photodiode.receive_batch(
+                optical_power, ambient, rng, n_copies)
+            if adc is None:
+                adc = self.default_adc(channel, geometry, ambient)
+            samples = adc.convert(current)
+        metrics().counter("repro_waveform_samples_total",
+                          help="ADC samples synthesised").inc(samples.size)
+        return samples
 
 
 @dataclass(frozen=True)

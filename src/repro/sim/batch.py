@@ -42,6 +42,7 @@ from ..core.symbols import SymbolPattern
 from ..link.frame import FrameError
 from ..link.receiver import Receiver
 from ..link.transmitter import Transmitter
+from ..obs import metrics, span
 from .montecarlo import MonteCarloValidator, SymbolErrorEstimate, default_payload
 
 _INT64_MAX = np.iinfo(np.int64).max
@@ -132,6 +133,9 @@ class BatchCodec:
             np.subtract(remaining, with_on_here, out=remaining,
                         where=choose_off)
             ones_left -= on
+        metrics().counter("repro_codec_symbols_encoded_total",
+                          help="symbols encoded by the batch codec") \
+            .inc(values.size)
         return slots
 
     def decode_batch(self, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -158,6 +162,9 @@ class BatchCodec:
             skipped = table[remaining].take(ones_left)
             np.add(values, skipped, out=values, where=active & ~column)
             ones_left -= active & column
+        metrics().counter("repro_codec_symbols_decoded_total",
+                          help="symbols rank-decoded by the batch codec") \
+            .inc(slots.shape[0])
         return values, weight_ok
 
 
@@ -201,17 +208,31 @@ class BatchMonteCarloValidator:
         if not codec.supported:
             return MonteCarloValidator(self.config).symbol_error_rate(
                 pattern, errors, rng, n_symbols)
-        values = rng.integers(0, codec.capacity, size=n_symbols)
-        sent = codec.encode_batch(values)
-        received = corrupt_batch(sent, errors, rng)
-        decoded, weight_ok = codec.decode_batch(received)
-        wrong = decoded != values
-        return SymbolErrorEstimate(
-            n_symbols=n_symbols,
-            n_errors=int(np.count_nonzero(~weight_ok | wrong)),
-            n_undetected=int(np.count_nonzero(weight_ok & wrong)),
-            analytic_ser=pattern.symbol_error_rate(errors),
-        )
+        with span("batch.symbol_error_rate", n_symbols=n_symbols,
+                  pattern=f"S({pattern.n_slots},{pattern.n_on})"):
+            values = rng.integers(0, codec.capacity, size=n_symbols)
+            sent = codec.encode_batch(values)
+            received = corrupt_batch(sent, errors, rng)
+            decoded, weight_ok = codec.decode_batch(received)
+            wrong = decoded != values
+            estimate = SymbolErrorEstimate(
+                n_symbols=n_symbols,
+                n_errors=int(np.count_nonzero(~weight_ok | wrong)),
+                n_undetected=int(np.count_nonzero(weight_ok & wrong)),
+                analytic_ser=pattern.symbol_error_rate(errors),
+            )
+        registry = metrics()
+        registry.counter("repro_batch_symbols_total",
+                         help="symbols replayed by the batch engine") \
+            .inc(n_symbols)
+        registry.counter("repro_batch_symbol_errors_total",
+                         help="symbol errors observed by the batch engine") \
+            .inc(estimate.n_errors)
+        registry.histogram("repro_batch_size",
+                           help="symbols per batched SER call",
+                           buckets=(100, 1000, 10_000, 100_000, 1_000_000)) \
+            .observe(n_symbols)
+        return estimate
 
     def frame_loss_rate(self, design: SchemeDesign, errors: SlotErrorModel,
                         rng: np.random.Generator, n_frames: int = 200,
@@ -230,20 +251,28 @@ class BatchMonteCarloValidator:
             raise ValueError("n_frames must be positive")
         payload = (payload if payload is not None
                    else default_payload(self.config.payload_bytes))
-        tx = Transmitter(self.config)
-        rx = Receiver(self.config)
-        slots = np.asarray(tx.encode_frame(payload, design), dtype=bool)
-        received = corrupt_batch(
-            np.broadcast_to(slots, (n_frames, slots.size)), errors, rng)
-        flipped_rows = np.nonzero((received != slots[None, :]).any(axis=1))[0]
-        losses = 0
-        for row in flipped_rows:
-            try:
-                frame = rx.decode_frame(received[row].tolist())
-                if frame.payload != payload:
+        with span("batch.frame_loss_rate", n_frames=n_frames):
+            tx = Transmitter(self.config)
+            rx = Receiver(self.config)
+            slots = np.asarray(tx.encode_frame(payload, design), dtype=bool)
+            received = corrupt_batch(
+                np.broadcast_to(slots, (n_frames, slots.size)), errors, rng)
+            flipped_rows = np.nonzero(
+                (received != slots[None, :]).any(axis=1))[0]
+            losses = 0
+            for row in flipped_rows:
+                try:
+                    frame = rx.decode_frame(received[row].tolist())
+                    if frame.payload != payload:
+                        losses += 1
+                except FrameError:
                     losses += 1
-            except FrameError:
-                losses += 1
-        analytic = 1.0 - frame_success_probability(
-            design, errors, self.config, len(payload))
+            analytic = 1.0 - frame_success_probability(
+                design, errors, self.config, len(payload))
+        registry = metrics()
+        registry.counter("repro_batch_frames_total",
+                         help="frames replayed by the batch engine") \
+            .inc(n_frames)
+        registry.counter("repro_batch_frame_losses_total",
+                         help="frames lost in batched replays").inc(losses)
         return losses / n_frames, analytic

@@ -23,6 +23,7 @@ from ..core.params import SystemConfig
 from ..link.frame import FrameError
 from ..link.receiver import DecodedFrame, Receiver, SampleSynchronizer
 from ..link.transmitter import Transmitter
+from ..obs import metrics, span
 from ..phy.channel import VlcChannel, calibrated_channel
 from ..phy.optics import LinkGeometry
 from ..phy.waveform import SlotSampler, WaveformSynthesizer
@@ -94,6 +95,9 @@ class EndToEndLink:
         schedule is attached, the ambient pedestal and blinding
         active at that instant shape the received waveform.
         """
+        registry = metrics()
+        registry.counter("repro_endtoend_frames_total",
+                         help="frames pushed through the waveform path").inc()
         slots = self._tx.encode_frame(payload, design)
         padded = ([False] * self.leading_silence_slots + slots
                   + [False] * self.leading_silence_slots)
@@ -106,12 +110,22 @@ class EndToEndLink:
 
         slot_errors = sum(
             1 for sent, got in zip(slots, decided) if sent != got)
+        registry.counter("repro_endtoend_slot_errors_total",
+                         help="slot decisions that flipped end to end") \
+            .inc(slot_errors)
         try:
             frame = self._rx.decode_frame(decided)
         except FrameError as exc:
+            registry.counter("repro_endtoend_frame_failures_total",
+                             help="waveform-path frames lost to decode "
+                                  "errors").inc()
             return EndToEndReport(False, None, slot_errors, len(slots),
                                   failure=str(exc))
         delivered = frame.payload == payload
+        if not delivered:
+            registry.counter("repro_endtoend_frame_failures_total",
+                             help="waveform-path frames lost to decode "
+                                  "errors").inc()
         return EndToEndReport(delivered, frame, slot_errors, len(slots),
                               failure="" if delivered else "payload mismatch")
 
@@ -141,20 +155,29 @@ class EndToEndLink:
 
         if n_frames < 1:
             return 0.0
-        slots = self._tx.encode_frame(payload, design)
-        padded = ([False] * self.leading_silence_slots + slots
-                  + [False] * self.leading_silence_slots)
-        sample_rows = self._synth.received_samples_batch(
-            padded, self.channel, self.geometry, self.ambient_at(at_s),
-            rng, n_frames)
-        sent = np.asarray(slots, dtype=bool)
-        total_errors = 0
-        for row in sample_rows:
-            start = self._sync.find_frame_start(row)
-            available = (row.size - start) // self.config.oversampling
-            decided = np.asarray(
-                self._sampler.decide(row, available, offset=start), dtype=bool)
-            m = min(sent.size, decided.size)
-            total_errors += int(np.count_nonzero(sent[:m] != decided[:m]))
-        total_slots = n_frames * len(slots)
+        with span("endtoend.measure_slot_error_rate", n_frames=n_frames):
+            slots = self._tx.encode_frame(payload, design)
+            padded = ([False] * self.leading_silence_slots + slots
+                      + [False] * self.leading_silence_slots)
+            sample_rows = self._synth.received_samples_batch(
+                padded, self.channel, self.geometry, self.ambient_at(at_s),
+                rng, n_frames)
+            sent = np.asarray(slots, dtype=bool)
+            total_errors = 0
+            for row in sample_rows:
+                start = self._sync.find_frame_start(row)
+                available = (row.size - start) // self.config.oversampling
+                decided = np.asarray(
+                    self._sampler.decide(row, available, offset=start),
+                    dtype=bool)
+                m = min(sent.size, decided.size)
+                total_errors += int(np.count_nonzero(sent[:m] != decided[:m]))
+            total_slots = n_frames * len(slots)
+        registry = metrics()
+        registry.counter("repro_endtoend_frames_total",
+                         help="frames pushed through the waveform path") \
+            .inc(n_frames)
+        registry.counter("repro_endtoend_slot_errors_total",
+                         help="slot decisions that flipped end to end") \
+            .inc(total_errors)
         return total_errors / total_slots if total_slots else 0.0

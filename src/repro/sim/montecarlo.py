@@ -39,6 +39,7 @@ from ..link.frame import FrameError
 from ..link.mac import corrupt_slots
 from ..link.receiver import Receiver
 from ..link.transmitter import Transmitter
+from ..obs import metrics, span
 
 
 def default_payload(n_bytes: int) -> bytes:
@@ -98,21 +99,30 @@ class MonteCarloValidator:
         if n_symbols < 1:
             raise ValueError("n_symbols must be positive")
         n, k = pattern.n_slots, pattern.n_on
-        capacity = symbol_capacity(n, k)
-        values = rng.integers(0, capacity, size=n_symbols)
-        n_errors = 0
-        n_undetected = 0
-        for value in values:
-            slots = list(encode_symbol(int(value), n, k))
-            received = corrupt_slots(slots, errors, rng)
-            try:
-                decoded = decode_symbol(received, k)
-            except CodewordWeightError:
-                n_errors += 1
-                continue
-            if decoded != value:
-                n_errors += 1
-                n_undetected += 1
+        with span("montecarlo.symbol_error_rate", n_symbols=n_symbols,
+                  pattern=f"S({n},{k})"):
+            capacity = symbol_capacity(n, k)
+            values = rng.integers(0, capacity, size=n_symbols)
+            n_errors = 0
+            n_undetected = 0
+            for value in values:
+                slots = list(encode_symbol(int(value), n, k))
+                received = corrupt_slots(slots, errors, rng)
+                try:
+                    decoded = decode_symbol(received, k)
+                except CodewordWeightError:
+                    n_errors += 1
+                    continue
+                if decoded != value:
+                    n_errors += 1
+                    n_undetected += 1
+        registry = metrics()
+        registry.counter("repro_montecarlo_symbols_total",
+                         help="symbols replayed by the scalar reference "
+                              "engine").inc(n_symbols)
+        registry.counter("repro_montecarlo_symbol_errors_total",
+                         help="symbol errors observed by the scalar "
+                              "reference engine").inc(n_errors)
         return SymbolErrorEstimate(
             n_symbols=n_symbols,
             n_errors=n_errors,

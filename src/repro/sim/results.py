@@ -9,7 +9,10 @@ sparkline-style plot good enough to eyeball curve shapes in a terminal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pure annotation; avoids a sim <-> obs import at runtime
+    from ..obs.manifest import RunManifest
 
 
 @dataclass(frozen=True)
@@ -27,11 +30,19 @@ class Series:
             raise ValueError("a series needs at least one point")
 
     def value_at(self, x: float, tol: float = 1e-9) -> float:
-        """The y value at an exact x (no interpolation)."""
+        """The y value at an exact x (no interpolation).
+
+        A miss raises ``KeyError`` naming the nearest available x
+        values, so a typo'd grid point is diagnosable from the message
+        alone.
+        """
         for xi, yi in zip(self.x, self.y):
             if abs(xi - x) <= tol:
                 return yi
-        raise KeyError(f"x={x} not in series {self.name!r}")
+        nearest = sorted(set(self.x), key=lambda xi: (abs(xi - x), xi))[:3]
+        raise KeyError(
+            f"x={x} not in series {self.name!r}; nearest available x: "
+            + ", ".join(f"{xi:g}" for xi in sorted(nearest)))
 
     @property
     def y_max(self) -> float:
@@ -44,7 +55,14 @@ class Series:
 
 @dataclass(frozen=True)
 class FigureResult:
-    """A reproduced figure: several series over a common x-axis meaning."""
+    """A reproduced figure: several series over a common x-axis meaning.
+
+    ``manifest`` is the run's provenance record, attached by
+    :func:`~repro.experiments.run_experiment`.  It is excluded from
+    equality (``compare=False``) and from :meth:`render`, because it
+    carries wall-clock values that must never influence result
+    comparisons or determinism digests.
+    """
 
     figure_id: str
     title: str
@@ -52,6 +70,7 @@ class FigureResult:
     y_label: str
     series: tuple[Series, ...]
     notes: str = ""
+    manifest: "RunManifest | None" = field(default=None, compare=False)
 
     def get(self, name: str) -> Series:
         """Series by name."""
@@ -84,13 +103,18 @@ class FigureResult:
 
 @dataclass(frozen=True)
 class TableResult:
-    """A reproduced table: header plus string rows."""
+    """A reproduced table: header plus string rows.
+
+    ``manifest`` mirrors :class:`FigureResult.manifest`: provenance
+    only, excluded from equality and rendering.
+    """
 
     table_id: str
     title: str
     header: tuple[str, ...]
     rows: tuple[tuple[str, ...], ...]
     notes: str = ""
+    manifest: "RunManifest | None" = field(default=None, compare=False)
 
     def render(self) -> str:
         text = [f"{self.table_id}: {self.title}",

@@ -29,11 +29,34 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from ..obs import active, metrics, span, telemetry_session
+
 
 def _run_seeded(func: Callable[[Any, np.random.Generator], Any],
                 point: Any, seed_seq: np.random.SeedSequence) -> Any:
     """Build the point's generator from its spawned child and run."""
     return func(point, np.random.default_rng(seed_seq))
+
+
+def _run_captured(func: Callable[[Any], Any], point: Any) -> tuple[Any, dict]:
+    """Run one point under a fresh child-process telemetry session.
+
+    Returns ``(result, metrics snapshot)`` so the parent can absorb the
+    shard into its own registry — the mergeability half of the
+    :class:`~repro.obs.metrics.MetricsRegistry` contract.
+    """
+    with telemetry_session() as session:
+        result = func(point)
+    return result, session.registry.snapshot()
+
+
+def _run_captured_seeded(func: Callable[[Any, np.random.Generator], Any],
+                         point: Any,
+                         seed_seq: np.random.SeedSequence) -> tuple[Any, dict]:
+    """Seeded variant of :func:`_run_captured` (same RNG contract)."""
+    with telemetry_session() as session:
+        result = func(point, np.random.default_rng(seed_seq))
+    return result, session.registry.snapshot()
 
 
 @dataclass(frozen=True)
@@ -67,14 +90,36 @@ class SweepRunner:
         points = list(points)
         seeds = (np.random.SeedSequence(seed).spawn(len(points))
                  if seed is not None else None)
-        if not self.parallel or len(points) <= 1:
-            if seeds is None:
-                return [func(point) for point in points]
-            return [_run_seeded(func, point, child)
-                    for point, child in zip(points, seeds)]
-        workers = min(self.jobs, len(points), os.cpu_count() or self.jobs)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            if seeds is None:
-                return list(pool.map(func, points))
-            return list(pool.map(_run_seeded, [func] * len(points),
-                                 points, seeds))
+        with span("sweep.map", points=len(points),
+                  jobs=self.jobs, seeded=seed is not None):
+            metrics().counter("repro_sweep_points_total",
+                              help="grid points mapped by SweepRunner") \
+                .inc(len(points))
+            if not self.parallel or len(points) <= 1:
+                # In-process: workers record straight into the active
+                # telemetry session (if any); nothing to merge.
+                if seeds is None:
+                    return [func(point) for point in points]
+                return [_run_seeded(func, point, child)
+                        for point, child in zip(points, seeds)]
+            workers = min(self.jobs, len(points),
+                          os.cpu_count() or self.jobs)
+            session = active()
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if session is None:
+                    if seeds is None:
+                        return list(pool.map(func, points))
+                    return list(pool.map(_run_seeded, [func] * len(points),
+                                         points, seeds))
+                # Telemetry on: each worker runs under its own session
+                # and ships its registry snapshot back with the result.
+                if seeds is None:
+                    pairs = list(pool.map(_run_captured,
+                                          [func] * len(points), points))
+                else:
+                    pairs = list(pool.map(_run_captured_seeded,
+                                          [func] * len(points),
+                                          points, seeds))
+            for _, snapshot in pairs:
+                session.registry.absorb(snapshot)
+            return [result for result, _ in pairs]

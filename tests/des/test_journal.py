@@ -58,12 +58,36 @@ class TestAggregation:
         with pytest.raises(ValueError):
             j.mean("absent", "ambient")
 
+    def test_mean_ignores_entries_without_the_key(self):
+        # Regression: entries of the right kind but lacking the key used
+        # to enter the denominator as zeros and drag the mean toward 0.
+        j = EventJournal()
+        j.record(0.0, "deliver", "n0", latency=2.0)
+        j.record(1.0, "deliver", "n0")  # no latency detail
+        j.record(2.0, "deliver", "n0", latency=4.0)
+        assert j.mean("deliver", "latency") == pytest.approx(3.0)
+        # total() keeps its sum-over-all-entries semantics.
+        assert j.total("deliver", "latency") == pytest.approx(6.0)
+
+    def test_mean_with_no_carrying_entries_raises(self):
+        j = EventJournal()
+        j.record(0.0, "deliver", "n0")
+        with pytest.raises(ValueError, match="no 'deliver' entries"):
+            j.mean("deliver", "latency")
+
     def test_tail(self):
         j = make_journal()
         assert [e.kind for e in j.tail(2)] == ["sense", "handover"]
         assert j.tail(0) == []
         with pytest.raises(ValueError):
             j.tail(-1)
+
+    def test_tail_edge_lengths(self):
+        j = make_journal()
+        # Asking for more than exists returns everything, in order.
+        assert j.tail(100) == j.entries
+        assert EventJournal().tail(0) == []
+        assert EventJournal().tail(5) == []
 
 
 class TestDeterminismWitness:
@@ -92,6 +116,15 @@ class TestDeterminismWitness:
         text = make_journal().render(n_tail=2)
         assert "4 entries" in text
         assert "sense" in text and "handover" in text
+
+    def test_render_empty_journal(self):
+        text = EventJournal().render()
+        assert text == "event journal: 0 entries"
+
+    def test_render_with_zero_tail(self):
+        text = make_journal().render(n_tail=0)
+        assert "4 entries" in text
+        assert "last" not in text
 
 
 class TestExport:

@@ -1,0 +1,132 @@
+"""Telemetry exporters: JSONL round-trip, Prometheus text, aligned text."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RunManifest,
+    Telemetry,
+    read_telemetry_jsonl,
+    render_prometheus,
+    render_text,
+    telemetry_rows,
+    write_telemetry_jsonl,
+)
+
+
+def _session() -> Telemetry:
+    session = Telemetry()
+    session.registry.counter("repro_symbols_total",
+                             help="symbols pushed").inc(100, scheme="amppm")
+    session.registry.counter("repro_symbols_total").inc(40, scheme="vpwm")
+    session.registry.gauge("repro_clock_seconds").set(12.5)
+    session.registry.histogram("repro_batch_size",
+                               buckets=(10.0, 100.0)).observe(50)
+    with session.spans.span("experiment.fig04"):
+        with session.spans.span("sweep.map", points=3):
+            pass
+    session.manifests.append(RunManifest(
+        experiment_id="fig04", config_digest="ab" * 32, version="1.0.0"))
+    return session
+
+
+class TestJsonl:
+    def test_rows_are_self_describing(self):
+        rows = telemetry_rows(_session())
+        kinds = {row["type"] for row in rows}
+        assert kinds == {"counter", "gauge", "histogram", "span", "manifest"}
+
+    def test_write_then_read_round_trips(self, tmp_path):
+        session = _session()
+        path = write_telemetry_jsonl(session, tmp_path / "t.jsonl")
+        clone = read_telemetry_jsonl(path)
+        assert clone.registry.snapshot() == session.registry.snapshot()
+        assert ([r.name for r in clone.spans.records]
+                == [r.name for r in session.spans.records])
+        assert clone.manifests == session.manifests
+        # Idempotent: re-exporting the clone gives byte-identical JSONL.
+        again = write_telemetry_jsonl(clone, tmp_path / "t2.jsonl")
+        assert again.read_text() == path.read_text()
+
+    def test_every_line_is_json(self, tmp_path):
+        path = write_telemetry_jsonl(_session(), tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            assert json.loads(line)
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "counter", "name": "c", "value": 1}\nnope\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_telemetry_jsonl(path)
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_telemetry_jsonl(path)
+
+    def test_non_record_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(ValueError, match="not a telemetry record"):
+            read_telemetry_jsonl(path)
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(_session().registry)
+        assert "# TYPE repro_symbols_total counter" in text
+        assert 'repro_symbols_total{scheme="amppm"} 100' in text
+        assert "# TYPE repro_clock_seconds gauge" in text
+        assert "repro_clock_seconds 12.5" in text
+        assert "# HELP repro_symbols_total symbols pushed" in text
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = render_prometheus(_session().registry)
+        assert 'repro_batch_size_bucket{le="10"} 0' in text
+        assert 'repro_batch_size_bucket{le="100"} 1' in text
+        assert 'repro_batch_size_bucket{le="+Inf"} 1' in text
+        assert "repro_batch_size_sum 50" in text
+        assert "repro_batch_size_count 1" in text
+
+    def test_bad_metric_name_characters_sanitized(self):
+        session = Telemetry()
+        session.registry.counter("weird.name-x").inc(1)
+        text = render_prometheus(session.registry)
+        assert "weird_name_x 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(Telemetry().registry) == ""
+
+
+class TestRenderText:
+    def test_header_and_sections(self):
+        text = render_text(_session())
+        # One counter *name* (with two label series), one gauge, etc.
+        assert text.startswith("telemetry: 1 counters, 1 gauges, "
+                               "1 histograms, 2 spans, 1 manifests")
+        assert "counters:" in text
+        assert "spans:" in text
+        assert "manifests:" in text
+        assert "fig04" in text
+
+    def test_span_tree_is_indented(self):
+        lines = render_text(_session()).splitlines()
+        (sweep_line,) = [ln for ln in lines if "sweep.map" in ln]
+        (experiment_line,) = [ln for ln in lines if "experiment.fig04" in ln]
+        indent = len(sweep_line) - len(sweep_line.lstrip())
+        assert indent > len(experiment_line) - len(experiment_line.lstrip())
+        assert "[points=3]" in sweep_line
+
+    def test_span_overflow_is_reported(self):
+        session = Telemetry()
+        for i in range(5):
+            with session.spans.span(f"s{i}"):
+                pass
+        text = render_text(session, max_spans=2)
+        assert "... 3 more spans" in text
+
+    def test_empty_session_renders_the_zero_header(self):
+        assert render_text(Telemetry()) == ("telemetry: 0 counters, 0 gauges, "
+                                            "0 histograms, 0 spans, 0 manifests")

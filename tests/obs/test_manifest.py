@@ -1,0 +1,89 @@
+"""Run manifests: config digests, serialization, experiment attachment."""
+
+import dataclasses
+import json
+
+from repro.core.params import DEFAULT_CONFIG, SystemConfig
+from repro.experiments import run_experiment
+from repro.obs import RunManifest, config_digest, telemetry_session, write_manifest
+
+
+class TestConfigDigest:
+    def test_deterministic(self):
+        assert config_digest(DEFAULT_CONFIG) == config_digest(SystemConfig())
+
+    def test_sensitive_to_any_field(self):
+        changed = dataclasses.replace(DEFAULT_CONFIG,
+                                      payload_bytes=DEFAULT_CONFIG.payload_bytes + 1)
+        assert config_digest(changed) != config_digest(DEFAULT_CONFIG)
+
+    def test_is_hex_sha256(self):
+        digest = config_digest(DEFAULT_CONFIG)
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestRunManifest:
+    def _manifest(self, **overrides):
+        base = dict(experiment_id="fig04",
+                    config_digest=config_digest(DEFAULT_CONFIG),
+                    version="1.0.0", seeds=(7, 9), args="{'n': 5}",
+                    started_at_utc="2026-08-06T00:00:00+00:00",
+                    wall_time_s=1.25,
+                    metrics={"counters": {}, "gauges": {}, "histograms": {}},
+                    journal_digest="ab" * 32)
+        base.update(overrides)
+        return RunManifest(**base)
+
+    def test_dict_round_trip(self):
+        manifest = self._manifest()
+        clone = RunManifest.from_dict(manifest.as_dict())
+        assert clone == manifest
+        assert manifest.as_dict()["kind"] == "manifest"
+
+    def test_to_json_is_valid_and_sorted(self):
+        payload = json.loads(self._manifest().to_json())
+        assert payload["experiment_id"] == "fig04"
+        assert payload["seeds"] == [7, 9]
+
+    def test_summary_mentions_the_essentials(self):
+        text = self._manifest().summary()
+        assert "fig04" in text
+        assert "v1.0.0" in text
+        assert "seeds 7,9" in text
+        assert "journal" in text
+
+    def test_write_manifest_sidecar(self, tmp_path):
+        target = tmp_path / "fig04.manifest.json"
+        written = write_manifest(self._manifest(), target)
+        assert written == target
+        assert json.loads(target.read_text())["kind"] == "manifest"
+
+
+class TestExperimentAttachment:
+    def test_result_carries_a_manifest(self):
+        result = run_experiment("table2-direct")
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.experiment_id == "table2-direct"
+        assert manifest.config_digest == config_digest(DEFAULT_CONFIG)
+        assert manifest.wall_time_s > 0.0
+
+    def test_manifest_excluded_from_equality_and_render(self):
+        first = run_experiment("table2-direct")
+        second = run_experiment("table2-direct")
+        # wall times differ, results must still compare equal...
+        assert first.manifest.wall_time_s != second.manifest.wall_time_s \
+            or first.manifest.started_at_utc == second.manifest.started_at_utc
+        assert first == second
+        # ...and no wall-clock value leaks into the rendering.
+        assert f"{first.manifest.wall_time_s:.3f}" not in first.render() \
+            or first.manifest.wall_time_s == 0.0
+
+    def test_session_collects_manifests_and_metrics(self):
+        with telemetry_session() as session:
+            run_experiment("table2-direct")
+        (manifest,) = session.manifests
+        assert manifest.experiment_id == "table2-direct"
+        # The snapshot embedded in the manifest mirrors the session's.
+        assert manifest.metrics == session.registry.snapshot()

@@ -1,0 +1,232 @@
+"""Metrics registry: counters, gauges, histograms, snapshots, merge."""
+
+import pickle
+from functools import reduce
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("hits")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5.0
+
+    def test_labels_split_series(self):
+        c = Counter("hits")
+        c.inc(2, scheme="amppm")
+        c.inc(3, scheme="vpwm")
+        c.inc(1, scheme="amppm")
+        assert c.value(scheme="amppm") == 3.0
+        assert c.value(scheme="vpwm") == 3.0
+        assert c.value() == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("hits")
+        c.inc(1, a=1, b=2)
+        c.inc(1, b=2, a=1)
+        assert c.value(a=1, b=2) == 2.0
+        assert len(c.series()) == 1
+
+    def test_negative_increment_rejected(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1)
+        assert g.value() == 1.0
+
+    def test_set_max_keeps_the_peak(self):
+        g = Gauge("depth")
+        g.set_max(3)
+        g.set_max(1)
+        g.set_max(7)
+        assert g.value() == 7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            h.observe(value)
+        assert h.bucket_counts() == (2, 1, 1)  # last is +Inf overflow
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(106.4)
+
+    def test_boundary_is_inclusive(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts() == (1, 0, 0)
+
+    def test_observe_many(self):
+        h = Histogram("lat")
+        h.observe_many([0.002, 0.002, 30.0])
+        assert h.count() == 3
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=(1.0, 0.5))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.names() == ["a"]
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("a")
+
+    def test_bucket_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            r.histogram("h", buckets=(1.0, 3.0))
+
+    def test_empty_registry_is_truthy(self):
+        # `registry = metrics()` followed by `if registry:` must not
+        # silently skip recording on a fresh session.
+        assert bool(MetricsRegistry())
+        assert len(MetricsRegistry()) == 0
+
+    def test_snapshot_round_trip(self):
+        r = MetricsRegistry()
+        r.counter("c", help="a counter").inc(5, scheme="amppm")
+        r.gauge("g").set(2.5)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        clone = MetricsRegistry.from_snapshot(r.snapshot())
+        assert clone.snapshot() == r.snapshot()
+        assert clone.counter("c").value(scheme="amppm") == 5.0
+        assert clone.get("c").help == "a counter"
+
+    def test_snapshot_is_picklable(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.histogram("h").observe(0.1)
+        snapshot = pickle.loads(pickle.dumps(r.snapshot()))
+        assert MetricsRegistry.from_snapshot(snapshot).counter("c").value() == 3.0
+
+    def test_absorb_adds_counters_and_maxes_gauges(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(5)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.gauge("g").set(1)
+        a.absorb(b.snapshot())
+        assert a.counter("c").value() == 5.0
+        assert a.gauge("g").value() == 5.0
+
+    def test_absorb_adds_histogram_cells(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+        a.absorb(b.snapshot())
+        assert a.histogram("h", buckets=(1.0,)).bucket_counts() == (1, 1)
+        assert a.histogram("h", buckets=(1.0,)).count() == 2
+
+
+class TestNullRegistry:
+    def test_recording_is_a_no_op(self):
+        NULL_REGISTRY.counter("c").inc(5)
+        NULL_REGISTRY.gauge("g").set_max(1)
+        NULL_REGISTRY.histogram("h").observe(0.1)
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.get("c") is None
+        assert len(NULL_REGISTRY) == 0
+
+    def test_shared_metric_object(self):
+        # One shared no-op instance: no allocation on the disabled path.
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _registries(shards):
+    """Materialize hypothesis shard specs into registries."""
+    out = []
+    for shard in shards:
+        r = MetricsRegistry()
+        for name, label, value in shard["counters"]:
+            r.counter(name).inc(value, worker=label)
+        for name, label, value in shard["gauges"]:
+            r.gauge(name).set_max(value, worker=label)
+        for name, label, value in shard["observations"]:
+            r.histogram(name, buckets=(2.0, 8.0)).observe(value, worker=label)
+        out.append(r)
+    return out
+
+
+# Integer values keep every fold exact (no float-rounding noise), which
+# is the regime the sweep shards live in: counts of symbols and errors.
+# Name pools are disjoint per kind — a name can only ever be one kind.
+def _entries(names):
+    return st.lists(st.tuples(st.sampled_from(names),
+                              st.sampled_from(["a", "b"]),
+                              st.integers(min_value=0, max_value=1000)),
+                    max_size=6)
+
+
+_SHARD = st.fixed_dictionaries({
+    "counters": _entries(["c0", "c1"]),
+    "gauges": _entries(["g0", "g1"]),
+    "observations": _entries(["h0", "h1"]),
+})
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_SHARD, min_size=2, max_size=4))
+    def test_merge_is_commutative(self, shards):
+        registries = _registries(shards)
+        forward = reduce(merge, registries).snapshot()
+        backward = reduce(merge, list(reversed(registries))).snapshot()
+        assert forward == backward
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_SHARD, min_size=3, max_size=3))
+    def test_merge_is_associative(self, shards):
+        a, b, c = _registries(shards)
+        left = merge(merge(a, b), c).snapshot()
+        right = merge(a, merge(b, c)).snapshot()
+        assert left == right
+
+    def test_merge_is_pure(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        merged = merge(a, b)
+        assert merged.counter("c").value() == 3.0
+        assert a.counter("c").value() == 1.0
+        assert b.counter("c").value() == 2.0

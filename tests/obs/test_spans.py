@@ -1,0 +1,119 @@
+"""Span tracing: nesting, timing, the null path, span_tree."""
+
+from repro.obs import NULL_SPAN, SpanRecorder, span, span_tree
+from repro.obs import telemetry_session
+
+
+class TestSpanRecorder:
+    def test_records_name_and_positive_duration(self):
+        rec = SpanRecorder()
+        with rec.span("work"):
+            pass
+        (record,) = rec.records
+        assert record.name == "work"
+        assert record.duration_s >= 0.0
+        assert record.start_s >= 0.0
+        assert record.parent_id is None
+        assert record.depth == 0
+
+    def test_nesting_sets_parent_and_depth(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        inner, outer = rec.records  # completion order: inner finishes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.depth == 0
+
+    def test_siblings_share_a_parent(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("first"):
+                pass
+            with rec.span("second"):
+                pass
+        first, second, outer = rec.records
+        assert first.parent_id == second.parent_id == outer.span_id
+
+    def test_attrs_are_sorted_and_readable(self):
+        rec = SpanRecorder()
+        with rec.span("work", n=5, mode="batch"):
+            pass
+        (record,) = rec.records
+        assert record.attrs == (("mode", "batch"), ("n", 5))
+        assert record.get("n") == 5
+        assert record.get("missing", 0) == 0
+
+    def test_exception_still_closes_the_span(self):
+        rec = SpanRecorder()
+        try:
+            with rec.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(rec) == 1
+        assert rec.records[0].name == "doomed"
+
+    def test_as_dict_round_trip_keys(self):
+        rec = SpanRecorder()
+        with rec.span("work", n=1):
+            pass
+        row = rec.records[0].as_dict()
+        assert {"span_id", "parent_id", "name", "depth",
+                "start_s", "duration_s", "attrs"} <= set(row)
+
+
+class TestModuleLevelSpan:
+    def test_disabled_returns_the_shared_null_span(self):
+        assert span("anything") is NULL_SPAN
+        with span("anything"):  # must be freely re-enterable
+            with span("nested"):
+                pass
+
+    def test_enabled_records_into_the_session(self):
+        with telemetry_session() as session:
+            with span("experiment", run=1):
+                with span("sweep"):
+                    pass
+        sweep, experiment = session.spans.records
+        assert sweep.parent_id == experiment.span_id
+        assert session.spans.records  # readable after the block
+        assert span("after") is NULL_SPAN  # session restored
+
+    def test_sessions_nest_and_restore(self):
+        with telemetry_session() as outer:
+            with span("outer-span"):
+                pass
+            with telemetry_session() as inner:
+                with span("inner-span"):
+                    pass
+            with span("outer-again"):
+                pass
+        assert [r.name for r in outer.spans.records] == ["outer-span",
+                                                         "outer-again"]
+        assert [r.name for r in inner.spans.records] == ["inner-span"]
+
+
+class TestSpanTree:
+    def test_builds_a_forest_ordered_by_start(self):
+        rec = SpanRecorder()
+        with rec.span("root-a"):
+            with rec.span("child"):
+                pass
+        with rec.span("root-b"):
+            pass
+        forest = span_tree(rec.records)
+        assert [node[0].name for node in forest] == ["root-a", "root-b"]
+        ((_, children), _) = forest
+        assert [c[0].name for c in children] == ["child"]
+
+    def test_orphan_becomes_a_root(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        inner_only = [r for r in rec.records if r.name == "inner"]
+        forest = span_tree(inner_only)
+        assert [node[0].name for node in forest] == ["inner"]

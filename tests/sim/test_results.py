@@ -31,6 +31,18 @@ class TestSeries:
         with pytest.raises(KeyError):
             s.value_at(0.3)
 
+    def test_value_at_miss_names_the_nearest_points(self):
+        # A typo'd grid point must be diagnosable from the message alone.
+        s = Series("ser", (0.1, 0.2, 0.5, 0.9), (1.0, 2.0, 3.0, 4.0))
+        with pytest.raises(KeyError) as excinfo:
+            s.value_at(0.25)
+        message = str(excinfo.value)
+        assert "x=0.25" in message
+        assert "'ser'" in message
+        # The three nearest available x values, in ascending order.
+        assert "0.1, 0.2, 0.5" in message
+        assert "0.9" not in message
+
     def test_extremes(self):
         s = Series("a", (0.0, 1.0, 2.0), (3.0, -1.0, 2.0))
         assert s.y_max == 3.0

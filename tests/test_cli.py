@@ -1,4 +1,8 @@
-"""The ``python -m repro`` command-line interface."""
+"""The ``python -m repro`` command-line interface.
+
+Error contract under test throughout: bad arguments put a message on
+stderr and return exit code 2, while stdout stays reserved for results.
+"""
 
 import io
 import json
@@ -9,14 +13,14 @@ from repro.cli import main
 
 
 def run_cli(*argv):
-    out = io.StringIO()
-    code = main(list(argv), out=out)
-    return code, out.getvalue()
+    out, err = io.StringIO(), io.StringIO()
+    code = main(list(argv), out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
 
 
 class TestList:
     def test_lists_all_ids(self):
-        code, text = run_cli("list")
+        code, text, _ = run_cli("list")
         assert code == 0
         ids = text.split()
         assert "fig15" in ids
@@ -26,53 +30,128 @@ class TestList:
 
 class TestRun:
     def test_single_experiment(self):
-        code, text = run_cli("run", "fig04")
+        code, text, err = run_cli("run", "fig04")
         assert code == 0
         assert "PSER" in text
+        assert err == ""
 
     def test_multiple_experiments(self):
-        code, text = run_cli("run", "fig04", "table2-direct")
+        code, text, _ = run_cli("run", "fig04", "table2-direct")
         assert code == 0
         assert "fig04" in text
         assert "table2-direct" in text
 
-    def test_unknown_id_fails(self, capsys):
-        code, _ = run_cli("run", "fig99")
+    def test_unknown_id_fails_on_stderr(self):
+        code, text, err = run_cli("run", "fig99")
         assert code == 2
+        assert "fig99" in err
+        assert text == ""
 
     def test_csv_export(self, tmp_path):
-        code, text = run_cli("run", "fig04", "--csv", str(tmp_path))
+        code, text, _ = run_cli("run", "fig04", "--csv", str(tmp_path))
         assert code == 0
         assert (tmp_path / "fig04.csv").exists()
         assert "[csv]" in text
 
     def test_json_export(self, tmp_path):
-        code, _ = run_cli("run", "table2-direct", "--json", str(tmp_path))
+        code, _, _ = run_cli("run", "table2-direct", "--json", str(tmp_path))
         assert code == 0
         payload = json.loads((tmp_path / "table2-direct.json").read_text())
         assert payload["kind"] == "table"
 
+    def test_export_writes_manifest_sidecar(self, tmp_path):
+        code, text, _ = run_cli("run", "fig04", "--csv", str(tmp_path))
+        assert code == 0
+        sidecar = tmp_path / "fig04.manifest.json"
+        assert sidecar.exists()
+        assert "[manifest]" in text
+        payload = json.loads(sidecar.read_text())
+        assert payload["kind"] == "manifest"
+        assert payload["experiment_id"] == "fig04"
+        assert len(payload["config_digest"]) == 64
+
+    def test_manifest_does_not_perturb_csv(self, tmp_path):
+        run_cli("run", "fig04", "--csv", str(tmp_path / "a"))
+        run_cli("run", "fig04", "--csv", str(tmp_path / "b"))
+        assert ((tmp_path / "a" / "fig04.csv").read_bytes()
+                == (tmp_path / "b" / "fig04.csv").read_bytes())
+
     def test_jobs_flag_matches_serial(self):
-        code_serial, text_serial = run_cli("run", "ext-burst")
-        code_jobs, text_jobs = run_cli("run", "ext-burst", "--jobs", "2")
+        code_serial, text_serial, _ = run_cli("run", "ext-burst")
+        code_jobs, text_jobs, _ = run_cli("run", "ext-burst", "--jobs", "2")
         assert code_serial == code_jobs == 0
         # The seeding contract: worker count must not change results.
         assert text_jobs == text_serial
 
     def test_jobs_accepted_by_non_sweep_experiments(self):
-        code, text = run_cli("run", "fig04", "--jobs", "2")
+        code, text, _ = run_cli("run", "fig04", "--jobs", "2")
         assert code == 0
         assert "PSER" in text
 
     def test_jobs_must_be_positive(self):
-        code, _ = run_cli("run", "fig04", "--jobs", "0")
+        code, _, err = run_cli("run", "fig04", "--jobs", "0")
         assert code == 2
+        assert "--jobs" in err
+
+
+class TestTelemetry:
+    def test_run_writes_a_jsonl_dump(self, tmp_path):
+        target = tmp_path / "telemetry.jsonl"
+        code, text, _ = run_cli("run", "fig04", "--telemetry", str(target))
+        assert code == 0
+        assert "[telemetry]" in text
+        rows = [json.loads(line)
+                for line in target.read_text().splitlines()]
+        kinds = {row["type"] for row in rows}
+        assert "span" in kinds
+        assert "manifest" in kinds
+        (manifest,) = [r for r in rows if r["type"] == "manifest"]
+        assert manifest["experiment_id"] == "fig04"
+
+    def test_stats_renders_the_dump(self, tmp_path):
+        target = tmp_path / "telemetry.jsonl"
+        run_cli("run", "fig04", "--telemetry", str(target))
+        code, text, err = run_cli("stats", str(target))
+        assert code == 0
+        assert err == ""
+        assert text.startswith("telemetry:")
+        assert "experiment.fig04" in text
+        assert "manifests:" in text
+
+    def test_stats_prometheus_format(self, tmp_path):
+        target = tmp_path / "telemetry.jsonl"
+        run_cli("run", "ext-burst", "--telemetry", str(target))
+        code, text, _ = run_cli("stats", str(target), "--prometheus")
+        assert code == 0
+        assert "# TYPE repro_sweep_points_total counter" in text
+
+    def test_telemetry_does_not_change_results(self, tmp_path):
+        _, plain, _ = run_cli("run", "ext-burst")
+        _, traced, _ = run_cli("run", "ext-burst", "--telemetry",
+                               str(tmp_path / "t.jsonl"))
+        # Identical stdout apart from the trailing [telemetry] line.
+        assert traced.startswith(plain)
+        extra = traced[len(plain):].strip().splitlines()
+        assert len(extra) == 1 and extra[0].startswith("[telemetry]")
+
+    def test_stats_missing_file(self, tmp_path):
+        code, text, err = run_cli("stats", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "no such telemetry file" in err
+        assert text == ""
+
+    def test_stats_rejects_non_telemetry_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        code, _, err = run_cli("stats", str(bad))
+        assert code == 2
+        assert "not a telemetry JSONL file" in err
 
 
 class TestJournal:
     def test_prints_metrics_and_trace(self):
-        code, text = run_cli("journal", "--grid", "1x2", "--nodes", "2",
-                             "--duration", "8", "--tail", "4")
+        code, text, _ = run_cli("journal", "--grid", "1x2", "--nodes", "2",
+                                "--duration", "8", "--tail", "4")
         assert code == 0
         assert "aggregate goodput" in text
         assert "journal digest" in text
@@ -80,8 +159,8 @@ class TestJournal:
 
     def test_jsonl_export(self, tmp_path):
         target = tmp_path / "trace.jsonl"
-        code, text = run_cli("journal", "--grid", "1x1", "--nodes", "1",
-                             "--duration", "5", "--jsonl", str(target))
+        code, text, _ = run_cli("journal", "--grid", "1x1", "--nodes", "1",
+                                "--duration", "5", "--jsonl", str(target))
         assert code == 0
         assert target.exists()
         rows = [json.loads(line)
@@ -90,80 +169,94 @@ class TestJournal:
         assert {"seq", "time", "kind"} <= set(rows[0])
 
     def test_same_seed_same_digest(self):
-        _, first = run_cli("journal", "--grid", "1x2", "--nodes", "2",
-                           "--duration", "6", "--seed", "9")
-        _, second = run_cli("journal", "--grid", "1x2", "--nodes", "2",
-                            "--duration", "6", "--seed", "9")
+        _, first, _ = run_cli("journal", "--grid", "1x2", "--nodes", "2",
+                              "--duration", "6", "--seed", "9")
+        _, second, _ = run_cli("journal", "--grid", "1x2", "--nodes", "2",
+                               "--duration", "6", "--seed", "9")
         assert first == second
 
     def test_bad_grid_rejected(self):
-        code, _ = run_cli("journal", "--grid", "2by2")
+        code, text, err = run_cli("journal", "--grid", "2by2")
         assert code == 2
+        assert "--grid" in err
+        assert text == ""
 
     def test_non_positive_dimensions_rejected(self):
-        code, _ = run_cli("journal", "--grid", "0x2")
+        code, _, err = run_cli("journal", "--grid", "0x2")
         assert code == 2
+        assert "positive" in err
+
+    def test_negative_tail_rejected(self):
+        code, _, err = run_cli("journal", "--grid", "1x1", "--tail", "-1")
+        assert code == 2
+        assert "--tail" in err
 
 
 class TestChaos:
     def test_prints_the_resilience_report(self):
-        code, text = run_cli("chaos", "--schedule", "blinding",
-                             "--duration", "20", "--seed", "7")
+        code, text, _ = run_cli("chaos", "--schedule", "blinding",
+                                "--duration", "20", "--seed", "7")
         assert code == 0
         assert "chaos schedule 'blinding'" in text
         assert "resilience report (supervised" in text
         assert "journal digest" in text
 
     def test_unsupervised_baseline_flag(self):
-        code, text = run_cli("chaos", "--schedule", "blinding",
-                             "--duration", "20", "--unsupervised")
+        code, text, _ = run_cli("chaos", "--schedule", "blinding",
+                                "--duration", "20", "--unsupervised")
         assert code == 0
         assert "resilience report (unsupervised" in text
 
     def test_same_seed_same_output(self):
         args = ("chaos", "--schedule", "mixed", "--duration", "20",
                 "--seed", "13")
-        _, first = run_cli(*args)
-        _, second = run_cli(*args)
+        _, first, _ = run_cli(*args)
+        _, second, _ = run_cli(*args)
         assert first == second
 
     def test_random_schedule_is_seeded(self):
         args = ("chaos", "--schedule", "random", "--duration", "15",
                 "--seed", "5", "--intensity", "0.8")
-        code, first = run_cli(*args)
+        code, first, _ = run_cli(*args)
         assert code == 0
-        _, second = run_cli(*args)
+        _, second, _ = run_cli(*args)
         assert first == second
 
     def test_unknown_schedule_rejected(self):
-        code, _ = run_cli("chaos", "--schedule", "nope")
+        code, text, err = run_cli("chaos", "--schedule", "nope")
         assert code == 2
+        assert "'nope'" in err
+        assert text == ""
 
     def test_bad_duration_rejected(self):
-        code, _ = run_cli("chaos", "--duration", "0")
+        code, _, err = run_cli("chaos", "--duration", "0")
         assert code == 2
+        assert "--duration" in err
 
     def test_bad_intensity_rejected(self):
-        code, _ = run_cli("chaos", "--schedule", "random",
-                          "--intensity", "1.5")
+        code, _, err = run_cli("chaos", "--schedule", "random",
+                               "--intensity", "1.5")
         assert code == 2
+        assert "--intensity" in err
 
 
 class TestDesign:
     def test_valid_level(self):
-        code, text = run_cli("design", "0.35")
+        code, text, _ = run_cli("design", "0.35")
         assert code == 0
         assert "super-symbol" in text
         assert "kbps" in text
 
     def test_out_of_range(self):
-        code, _ = run_cli("design", "0.001")
+        code, text, err = run_cli("design", "0.001")
         assert code == 2
+        assert "supported range" in err
+        assert text == ""
 
 
 class TestInfo:
     def test_shows_configuration(self):
-        code, text = run_cli("info")
+        code, text, _ = run_cli("info")
         assert code == 0
         assert "125 kHz" in text
         assert "candidates" in text
