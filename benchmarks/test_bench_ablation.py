@@ -24,9 +24,9 @@ def candidates():
 class TestEnvelopeConstruction:
     """Slope walk vs exhaustive hull: same result, comparable cost."""
 
-    def test_bench_slope_walk(self, benchmark, candidates):
+    def test_bench_slope_walk(self, bench, candidates):
         errors = SlotErrorModel(9e-5, 8e-5)
-        env = benchmark(slope_walk_envelope, candidates, errors)
+        env = bench(slope_walk_envelope, candidates, errors)
         reference = upper_concave_envelope(candidates, errors)
         lo, hi = env.dimming_range
         for i in range(51):
@@ -34,22 +34,22 @@ class TestEnvelopeConstruction:
             assert env.rate_at(x) == pytest.approx(reference.rate_at(x),
                                                    abs=1e-9)
 
-    def test_bench_reference_hull(self, benchmark, candidates):
+    def test_bench_reference_hull(self, bench, candidates):
         errors = SlotErrorModel(9e-5, 8e-5)
-        benchmark(upper_concave_envelope, candidates, errors)
+        bench(upper_concave_envelope, candidates, errors)
 
 
 class TestTwoPatternSufficiency:
     """Super-symbols of two patterns suffice: mixing three or more
     cannot beat the envelope chord (hull segments are straight)."""
 
-    def test_bench_two_pattern_rate_is_optimal(self, benchmark, config):
+    def test_bench_two_pattern_rate_is_optimal(self, bench, config):
         designer = AmppmDesigner(config)
 
         def best_designs():
             return [designer.design(l) for l in (0.15, 0.3, 0.45, 0.6, 0.75)]
 
-        designs = benchmark.pedantic(best_designs, rounds=1, iterations=1)
+        designs = bench(best_designs, repeats=1, warmup=0)
         for level, design in zip((0.15, 0.3, 0.45, 0.6, 0.75), designs):
             # Any convex combination of >= 3 candidate points is also a
             # convex combination of hull points, so the chord (evaluated
@@ -65,12 +65,12 @@ class TestCodingVsTabulation:
 
     N, K = 24, 12
 
-    def test_bench_arithmetic_encoder(self, benchmark):
+    def test_bench_arithmetic_encoder(self, bench):
         # O(N) big-integer arithmetic, no table.
         values = list(range(0, 2**20, 4099))
-        benchmark(lambda: [encode_symbol(v, self.N, self.K) for v in values])
+        bench(lambda: [encode_symbol(v, self.N, self.K) for v in values])
 
-    def test_bench_tabulation_encoder(self, benchmark):
+    def test_bench_tabulation_encoder(self, bench):
         # The classical approach must materialise C(N, K) codewords
         # first; even at N=24 that is 2.7M entries (at N=50 it would be
         # the paper's 126 TB).
@@ -78,7 +78,7 @@ class TestCodingVsTabulation:
             table = list(iter_weighted_codewords(16, 8))  # C(16,8)=12870
             return [table[v % len(table)] for v in range(0, 2**20, 4099)]
 
-        benchmark.pedantic(tabulate_and_encode, rounds=1, iterations=2)
+        bench(tabulate_and_encode, repeats=1, warmup=1)
 
     def test_table_size_explodes(self):
         # The memory argument: the tabulation footprint is super-
@@ -89,17 +89,16 @@ class TestCodingVsTabulation:
 class TestDesignerCost:
     """Building the whole designer (Steps 1-3) stays sub-second."""
 
-    def test_bench_designer_construction(self, benchmark, config):
-        designer = benchmark.pedantic(AmppmDesigner, args=(config,),
-                                      rounds=2, iterations=1)
+    def test_bench_designer_construction(self, bench, config):
+        designer = bench(AmppmDesigner, config, repeats=2, warmup=0)
         assert len(designer.candidates) > 1000
 
-    def test_bench_design_lookup(self, benchmark, config):
+    def test_bench_design_lookup(self, bench, config):
         designer = AmppmDesigner(config)
         designer.design(0.37)  # warm the cache
 
         def lookup():
             return designer.design(0.37)
 
-        result = benchmark(lookup)
+        result = bench(lookup)
         assert result.dimming_error <= config.tau_perceived

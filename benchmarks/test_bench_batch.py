@@ -12,8 +12,6 @@ import time
 import numpy as np
 import pytest
 
-from conftest import run_once
-
 from repro.core import SlotErrorModel, SymbolPattern
 from repro.sim import BatchMonteCarloValidator, MonteCarloValidator
 
@@ -24,7 +22,7 @@ SEED = 21
 
 
 @pytest.mark.perf
-def test_bench_batch_ser_speedup(benchmark, config):
+def test_bench_batch_ser_speedup(bench, config):
     scalar = MonteCarloValidator(config)
     batch = BatchMonteCarloValidator(config)
 
@@ -55,7 +53,7 @@ def test_bench_batch_ser_speedup(benchmark, config):
         for _ in range(3)
     )
 
-    batch_estimate = run_once(benchmark, run_batch)
+    batch_estimate = bench(run_batch)
     print(f"\n{N_SYMBOLS} symbols S({PATTERN.n_slots},{PATTERN.n_on}): "
           f"scalar {t_scalar * 1e3:.0f} ms, batch {t_batch * 1e3:.1f} ms "
           f"({t_scalar / t_batch:.1f}x)")

@@ -13,8 +13,6 @@ from pathlib import Path
 
 import pytest
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 from repro.resilience import ChaosScenario, shipped_schedules
 
@@ -22,7 +20,7 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
 
 
 @pytest.mark.perf
-def test_bench_chaos(benchmark, config):
+def test_bench_chaos(bench, config):
     schedule = shipped_schedules()["mixed"]
     scenario = ChaosScenario(config=config, schedule=schedule, seed=13)
     t0 = time.perf_counter()
@@ -33,8 +31,8 @@ def test_bench_chaos(benchmark, config):
     assert first.journal.digest() == second.journal.digest()
 
     t0 = time.perf_counter()
-    figure = run_once(benchmark, run_experiment, "ext-chaos",
-                      config=config, duration_s=40.0, seed=13)
+    figure = bench(run_experiment, "ext-chaos",
+                   config=config, duration_s=40.0, seed=13)
     t_sweep = time.perf_counter() - t0
 
     supervised = figure.get("supervised goodput (Kbps)")

@@ -21,33 +21,33 @@ def design(config):
 
 
 class TestSymbolCodec:
-    def test_bench_encode_large_symbol(self, benchmark):
-        benchmark(encode_symbol, 2**40 + 12345, 50, 25)
+    def test_bench_encode_large_symbol(self, bench):
+        bench(encode_symbol, 2**40 + 12345, 50, 25)
 
-    def test_bench_decode_large_symbol(self, benchmark):
+    def test_bench_decode_large_symbol(self, bench):
         codeword = encode_symbol(2**40 + 12345, 50, 25)
-        value = benchmark(decode_symbol, codeword, 25)
+        value = bench(decode_symbol, codeword, 25)
         assert value == 2**40 + 12345
 
 
 class TestFramePath:
-    def test_bench_frame_encode(self, benchmark, config, design):
+    def test_bench_frame_encode(self, bench, config, design):
         tx = Transmitter(config)
         payload = bytes(range(128)) * 1
-        slots = benchmark(tx.encode_frame, payload, design)
+        slots = bench(tx.encode_frame, payload, design)
         assert len(slots) > 1000
 
-    def test_bench_frame_decode(self, benchmark, config, design):
+    def test_bench_frame_decode(self, bench, config, design):
         tx = Transmitter(config)
         rx = Receiver(config)
         payload = bytes(range(128))
         slots = tx.encode_frame(payload, design)
-        frame = benchmark(rx.decode_frame, slots)
+        frame = bench(rx.decode_frame, slots)
         assert frame.payload == payload
 
 
 class TestWaveformPath:
-    def test_bench_end_to_end_frame(self, benchmark, config, design):
+    def test_bench_end_to_end_frame(self, bench, config, design):
         link = EndToEndLink(config=config,
                             geometry=LinkGeometry.on_axis(3.0))
 
@@ -55,5 +55,5 @@ class TestWaveformPath:
             return link.send_frame(bytes(64), design,
                                    np.random.default_rng(7))
 
-        report = benchmark.pedantic(one_frame, rounds=3, iterations=1)
+        report = bench(one_frame, repeats=3, warmup=0)
         assert report.delivered

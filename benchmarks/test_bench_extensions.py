@@ -1,40 +1,38 @@
 """Benches for the extension experiments (beyond the paper's figures)."""
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 
 
-def test_bench_ext_energy(benchmark, config):
-    table = run_once(benchmark, run_experiment, "ext-energy", config=config)
+def test_bench_ext_energy(bench, config):
+    table = bench(run_experiment, "ext-energy", config=config)
     print("\n" + table.render())
     saving = dict(table.rows)["saving fraction"]
     assert saving.endswith("%")
     assert int(saving.rstrip("%")) > 20
 
 
-def test_bench_ext_room(benchmark, config):
-    fig = run_once(benchmark, run_experiment, "ext-room", config=config)
+def test_bench_ext_room(bench, config):
+    fig = bench(run_experiment, "ext-room", config=config)
     print("\n" + fig.render(width=64, height=10))
     # Every default desk stays linked for the whole run.
     assert "link-down samples: 0" in fig.notes
 
 
-def test_bench_ext_payload(benchmark, config):
-    fig = run_once(benchmark, run_experiment, "ext-payload", config=config)
+def test_bench_ext_payload(bench, config):
+    fig = bench(run_experiment, "ext-payload", config=config)
     print("\n" + fig.render(width=64, height=10))
     ampem = fig.get("AMPPM")
     assert ampem.y[-1] > ampem.y[0]
 
 
-def test_bench_ext_serbound(benchmark, config):
-    table = run_once(benchmark, run_experiment, "ext-serbound", config=config)
+def test_bench_ext_serbound(bench, config):
+    table = bench(run_experiment, "ext-serbound", config=config)
     print("\n" + table.render())
     assert any("(default)" in row[0] for row in table.rows)
 
 
-def test_bench_ext_burst(benchmark, config):
-    fig = run_once(benchmark, run_experiment, "ext-burst", config=config)
+def test_bench_ext_burst(bench, config):
+    fig = bench(run_experiment, "ext-burst", config=config)
     print("\n" + fig.render(width=64, height=10))
     bursty = fig.get("bursty (Gilbert-Elliott)")
     iid = fig.get("iid, same avg error rate")

@@ -3,8 +3,8 @@
 from repro.experiments import run_experiment
 
 
-def test_bench_fig04(benchmark, config):
-    fig = benchmark(run_experiment, "fig04", config=config)
+def test_bench_fig04(bench, config):
+    fig = bench(run_experiment, "fig04", config=config)
     print("\n" + fig.render(width=64, height=12))
     # Shape: SER rises with N at every dimming level.
     n10 = fig.get("N=10")

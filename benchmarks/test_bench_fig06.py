@@ -3,8 +3,8 @@
 from repro.experiments import run_experiment
 
 
-def test_bench_fig06(benchmark, config):
-    fig = benchmark(run_experiment, "fig06", config=config)
+def test_bench_fig06(bench, config):
+    fig = bench(run_experiment, "fig06", config=config)
     print("\n" + fig.render(width=64, height=12))
     assert len(fig.get("before").x) == 9
     assert len(fig.get("after").x) > 50

@@ -3,8 +3,8 @@
 from repro.experiments import run_experiment
 
 
-def test_bench_fig08(benchmark, config):
-    fig = benchmark(run_experiment, "fig08", config=config)
+def test_bench_fig08(bench, config):
+    fig = bench(run_experiment, "fig08", config=config)
     print("\n" + fig.render(width=64, height=12))
     bound = fig.get("upper bound").y[0]
     assert max(fig.get("N=10").y) < bound

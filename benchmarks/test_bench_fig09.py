@@ -3,8 +3,8 @@
 from repro.experiments import run_experiment
 
 
-def test_bench_fig09(benchmark, config):
-    fig = benchmark(run_experiment, "fig09", config=config)
+def test_bench_fig09(bench, config):
+    fig = bench(run_experiment, "fig09", config=config)
     print("\n" + fig.render(width=64, height=12))
     env = fig.get("AMPPM (envelope)")
     stairs = fig.get("without multiplexing")

@@ -3,8 +3,8 @@
 from repro.experiments import run_experiment
 
 
-def test_bench_fig10(benchmark, config):
-    fig = benchmark(run_experiment, "fig10", config=config)
+def test_bench_fig10(bench, config):
+    fig = bench(run_experiment, "fig10", config=config)
     print("\n" + fig.render(width=64, height=12))
     measured = int(fig.notes.split("measured-domain ")[1].split(",")[0])
     perceived = int(fig.notes.split("perceived-domain ")[1].split(" ")[0])

@@ -1,12 +1,10 @@
 """Bench: regenerate Fig. 15 — the headline AMPPM/OOK-CT/MPPM comparison."""
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 
 
-def test_bench_fig15(benchmark, config):
-    fig = run_once(benchmark, run_experiment, "fig15", config=config)
+def test_bench_fig15(bench, config):
+    fig = bench(run_experiment, "fig15", config=config)
     print("\n" + fig.render(width=64, height=14))
     ampem = fig.get("AMPPM")
     ookct = fig.get("OOK-CT")

@@ -1,12 +1,10 @@
 """Bench: regenerate Fig. 16 (throughput vs distance)."""
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 
 
-def test_bench_fig16(benchmark, config):
-    fig = run_once(benchmark, run_experiment, "fig16", config=config)
+def test_bench_fig16(bench, config):
+    fig = bench(run_experiment, "fig16", config=config)
     print("\n" + fig.render(width=64, height=12))
     mid = fig.get("dimming=0.5")
     assert mid.value_at(3.0) > 0.95 * mid.y_max   # flat to the knee

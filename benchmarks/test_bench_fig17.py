@@ -1,12 +1,10 @@
 """Bench: regenerate Fig. 17 (throughput vs incidence angle)."""
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 
 
-def test_bench_fig17(benchmark, config):
-    fig = run_once(benchmark, run_experiment, "fig17", config=config)
+def test_bench_fig17(bench, config):
+    fig = bench(run_experiment, "fig17", config=config)
     print("\n" + fig.render(width=64, height=12))
     near = fig.get("distance=1.3m")
     far = fig.get("distance=3.3m")

@@ -1,13 +1,11 @@
 """Bench: regenerate Fig. 19 — the 67 s dynamic scenario (all panels)."""
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 from repro.experiments.fig19_dynamic import run_scenario
 
 
-def test_bench_fig19(benchmark, config):
-    result = run_once(benchmark, run_scenario, config=config)
+def test_bench_fig19(bench, config):
+    result = bench(run_scenario, config=config)
     for panel in ("fig19a", "fig19b", "fig19c"):
         fig = run_experiment(panel, result=result)
         print("\n" + fig.render(width=64, height=10))

@@ -1,12 +1,10 @@
 """Bench: the abstract's summary claims, paper vs measured."""
 
-from conftest import run_once
-
 from repro.experiments import run_experiment
 
 
-def test_bench_headline(benchmark, config):
-    table = run_once(benchmark, run_experiment, "headline", config=config)
+def test_bench_headline(bench, config):
+    table = bench(run_experiment, "headline", config=config)
     print("\n" + table.render())
     measured = {row[0]: row[2] for row in table.rows}
     assert measured["avg gain vs OOK-CT"].startswith("+")

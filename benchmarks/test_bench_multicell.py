@@ -12,8 +12,6 @@ from pathlib import Path
 
 import pytest
 
-from conftest import run_once
-
 from repro.des import journals_equal
 from repro.experiments import run_experiment
 from repro.net.multicell import default_network
@@ -23,7 +21,7 @@ GRIDS = ((1, 1), (2, 2), (3, 3))
 
 
 @pytest.mark.perf
-def test_bench_multicell(benchmark, config):
+def test_bench_multicell(bench, config):
     sim = default_network(config, rows=2, cols=2, n_nodes=4, seed=29)
     t0 = time.perf_counter()
     first = sim.run(30.0)
@@ -33,9 +31,9 @@ def test_bench_multicell(benchmark, config):
     assert first.metrics() == second.metrics()
 
     t0 = time.perf_counter()
-    figure = run_once(benchmark, run_experiment, "ext-multicell",
-                      config=config, grids=GRIDS, n_nodes=4,
-                      duration_s=30.0)
+    figure = bench(run_experiment, "ext-multicell",
+                   config=config, grids=GRIDS, n_nodes=4,
+                   duration_s=30.0)
     t_sweep = time.perf_counter() - t0
 
     goodput = figure.get("aggregate goodput (Kbps)")

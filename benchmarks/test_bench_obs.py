@@ -3,24 +3,26 @@
 The permanent instrumentation in :mod:`repro.sim.batch` is only
 acceptable if it is effectively free.  This bench times the batched
 SER validator with telemetry off (the default null path) and again
-under an active session, asserts the identical estimate both ways,
-and guards the overhead ratio at < 5%.  Emits ``BENCH_obs.json`` at
-the repository root so the overhead trajectory is recorded run over
-run.
+under an active session — both through the shared
+:class:`~repro.obs.bench.BenchRunner` discipline (warmup, then
+best-of-k) — asserts the identical estimate both ways, and guards the
+overhead ratio at < 5%.  The ratio is clamped at zero: timing jitter
+can make the instrumented run measure *faster* than the null path,
+and a negative "overhead" is noise, not a speedup.  Emits
+``BENCH_obs.json`` at the repository root so the overhead trajectory
+is recorded run over run.
 """
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from conftest import run_once
-
 from repro.core.errormodel import SlotErrorModel
 from repro.core.symbols import SymbolPattern
 from repro.obs import render_prometheus, telemetry_session
+from repro.obs.bench import BenchRunner
 from repro.sim.batch import BatchMonteCarloValidator
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
@@ -37,31 +39,27 @@ def _run_ser(validator):
                                        n_symbols=N_SYMBOLS)
 
 
-def _best_of(func, *args):
-    """Min-of-N timing: the least noisy estimator for a hot loop."""
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        t0 = time.perf_counter()
-        result = func(*args)
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
 @pytest.mark.perf
-def test_bench_obs_overhead(benchmark, config):
+def test_bench_obs_overhead(bench, config):
     validator = BatchMonteCarloValidator(config=config)
-    _run_ser(validator)  # warm-up: binomial tables, numpy dispatch
 
-    t_off, baseline = _best_of(_run_ser, validator)
+    # The off/on comparison needs a matched pair of best-of-k timings,
+    # so measure both legs on a local runner with the same discipline
+    # (the shared session runner still records the off leg for the
+    # history file, via the ``bench`` fixture below).
+    pair = BenchRunner(repeats=REPEATS, warmup=1)
+    off_record, baseline = pair.measure("obs.overhead.off",
+                                        _run_ser, validator)
 
     def traced():
         with telemetry_session() as session:
             estimate = _run_ser(validator)
         return estimate, session
 
-    t_on, (traced_estimate, session) = _best_of(traced)
-    run_once(benchmark, _run_ser, validator)
+    on_record, (traced_estimate, session) = pair.measure(
+        "obs.overhead.on", traced)
+    t_off, t_on = off_record.min_s, on_record.min_s
+    bench(_run_ser, validator, name="suite.obs.overhead", repeats=REPEATS)
 
     # Telemetry observes — the estimate must be bit-identical either way.
     assert traced_estimate == baseline
@@ -70,7 +68,8 @@ def test_bench_obs_overhead(benchmark, config):
             == N_SYMBOLS)
     assert "repro_batch_symbols_total" in render_prometheus(registry)
 
-    overhead = t_on / t_off - 1.0
+    # Clamp at zero: min-of-k jitter can dip below the null path.
+    overhead = max(0.0, t_on / t_off - 1.0)
     payload = {
         "bench": "obs",
         "n_symbols": N_SYMBOLS,

@@ -3,15 +3,15 @@
 from repro.experiments import run_experiment
 
 
-def test_bench_table2_direct(benchmark, config):
-    table = benchmark(run_experiment, "table2-direct", config=config)
+def test_bench_table2_direct(bench, config):
+    table = bench(run_experiment, "table2-direct", config=config)
     print("\n" + table.render())
     assert table.rows[0][1:] == ("0%", "0%", "0%")
     assert table.rows[-1][1:] == ("100%", "100%", "100%")
 
 
-def test_bench_table2_indirect(benchmark, config):
-    table = benchmark(run_experiment, "table2-indirect", config=config)
+def test_bench_table2_indirect(bench, config):
+    table = bench(run_experiment, "table2-indirect", config=config)
     print("\n" + table.render())
     assert table.rows[0][1:] == ("0%", "0%", "0%")
     assert table.rows[-1][1:] == ("100%", "100%", "100%")

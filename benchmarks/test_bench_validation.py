@@ -7,14 +7,12 @@ with the executable codec/receiver path.
 
 import numpy as np
 
-from conftest import run_once
-
 from repro.core import SlotErrorModel, SymbolPattern
 from repro.schemes import AmppmScheme
 from repro.sim import MonteCarloValidator
 
 
-def test_bench_eq3_validation(benchmark, config):
+def test_bench_eq3_validation(bench, config):
     validator = MonteCarloValidator(config)
     errors = SlotErrorModel(2e-3, 2e-3)
 
@@ -23,14 +21,14 @@ def test_bench_eq3_validation(benchmark, config):
             SymbolPattern(30, 15), errors,
             np.random.default_rng(11), n_symbols=3000)
 
-    estimate = run_once(benchmark, run)
+    estimate = bench(run)
     print(f"\nEq.(3) analytic {estimate.analytic_ser:.3e} vs measured "
           f"{estimate.measured_ser:.3e} over {estimate.n_symbols} symbols "
           f"({estimate.n_undetected} undetected aliases)")
     assert estimate.consistent_with_analytic()
 
 
-def test_bench_frame_loss_validation(benchmark, config):
+def test_bench_frame_loss_validation(bench, config):
     validator = MonteCarloValidator(config)
     design = AmppmScheme(config).design(0.5)
     errors = SlotErrorModel(3e-4, 3e-4)
@@ -40,7 +38,7 @@ def test_bench_frame_loss_validation(benchmark, config):
                                          np.random.default_rng(12),
                                          n_frames=150)
 
-    measured, analytic = run_once(benchmark, run)
+    measured, analytic = bench(run)
     print(f"\nframe loss analytic {analytic:.3f} vs measured {measured:.3f}")
     std = (analytic * (1 - analytic) / 150) ** 0.5
     assert abs(measured - analytic) <= 4 * std + 0.03

@@ -35,11 +35,16 @@ class HeadlineNumbers:
     adaptation_reduction: float
 
 
-def compute(config: SystemConfig | None = None) -> HeadlineNumbers:
-    """Derive the headline numbers from the figure harnesses."""
+def compute(config: SystemConfig | None = None,
+            jobs: int | None = None) -> HeadlineNumbers:
+    """Derive the headline numbers from the figure harnesses.
+
+    ``jobs`` fans the underlying fig. 15/16 sweeps across worker
+    processes (see :class:`~repro.sim.sweep.SweepRunner`).
+    """
     config = config if config is not None else SystemConfig()
 
-    fig15 = fig15_throughput.run(config)
+    fig15 = fig15_throughput.run(config, jobs=jobs)
     ampem = fig15.get("AMPPM")
     ookct = fig15.get("OOK-CT")
     mppm = fig15.get("MPPM")
@@ -49,7 +54,7 @@ def compute(config: SystemConfig | None = None) -> HeadlineNumbers:
     losing = [x for x, a, o in zip(ampem.x, ampem.y, ookct.y) if o > a]
     window = (min(losing), max(losing)) if losing else (float("nan"),) * 2
 
-    fig16 = fig16_distance.run(config)
+    fig16 = fig16_distance.run(config, jobs=jobs)
     mid = fig16.get("dimming=0.5")
     knee = max((x for x, y in zip(mid.x, mid.y) if y >= 0.9 * mid.y_max),
                default=float("nan"))
@@ -70,9 +75,10 @@ def compute(config: SystemConfig | None = None) -> HeadlineNumbers:
 
 
 @register("headline")
-def run(config: SystemConfig | None = None) -> TableResult:
+def run(config: SystemConfig | None = None,
+        jobs: int | None = None) -> TableResult:
     """Paper-vs-measured table for the abstract's claims."""
-    numbers = compute(config)
+    numbers = compute(config, jobs=jobs)
     rows = (
         ("avg gain vs OOK-CT", "+40%",
          f"{100 * numbers.mean_gain_over_ookct:+.0f}%"),

@@ -24,6 +24,18 @@ never in result values, journals, or determinism digests — so
 enabling a session cannot change any golden-seed artefact.
 """
 
+from .bench import (
+    BenchRecord,
+    BenchRunner,
+    Regression,
+    RegressionPolicy,
+    append_history,
+    detect_regressions,
+    group_by_name,
+    last_run,
+    load_history,
+    regression_threshold,
+)
 from .export import (
     read_telemetry_jsonl,
     render_prometheus,
@@ -42,6 +54,7 @@ from .metrics import (
     NullRegistry,
     merge,
 )
+from .profile import ProfileEntry, ProfileSession, aggregate_spans
 from .runtime import (
     Telemetry,
     active,
@@ -51,9 +64,17 @@ from .runtime import (
     span,
     telemetry_session,
 )
-from .spans import NULL_SPAN, SpanRecord, SpanRecorder, span_tree
+from .spans import NULL_SPAN, SpanRecord, SpanRecorder, active_span, span_tree
+from .trace import (
+    chrome_trace,
+    trace_events,
+    validate_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "BenchRecord",
+    "BenchRunner",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -62,23 +83,39 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NullRegistry",
+    "ProfileEntry",
+    "ProfileSession",
+    "Regression",
+    "RegressionPolicy",
     "RunManifest",
     "SpanRecord",
     "SpanRecorder",
     "Telemetry",
     "active",
+    "active_span",
+    "aggregate_spans",
+    "append_history",
+    "chrome_trace",
     "config_digest",
+    "detect_regressions",
     "enabled",
+    "group_by_name",
+    "last_run",
+    "load_history",
     "merge",
     "metrics",
     "read_telemetry_jsonl",
     "record_manifest",
+    "regression_threshold",
     "render_prometheus",
     "render_text",
     "span",
     "span_tree",
     "telemetry_rows",
     "telemetry_session",
+    "trace_events",
+    "validate_trace",
+    "write_chrome_trace",
     "write_manifest",
     "write_telemetry_jsonl",
 ]

@@ -1,0 +1,355 @@
+"""Statistically stable benchmark tracking with regression gating.
+
+A single timing of a workload is noise: the first call pays import and
+allocation costs, the scheduler preempts, turbo states drift.  This
+module gives every benchmark in the repository the same discipline —
+warm up, time ``k`` repeats, keep the order statistics — and a memory:
+each run appends one :class:`BenchRecord` per workload to an
+append-only ``BENCH_HISTORY.jsonl``, so "is this slower than it used
+to be?" is answerable from the file instead of from folklore.
+
+The pieces:
+
+* :class:`BenchRunner` — runs a callable ``warmup`` times untimed and
+  ``repeats`` times timed, and keeps a :class:`BenchRecord` holding
+  the raw samples, their min / quartiles / median, and a
+  :class:`~repro.obs.manifest.RunManifest` pinning which code and
+  configuration produced them.
+* :func:`append_history` / :func:`load_history` — the JSONL store.
+* :func:`detect_regressions` — the noise-aware gate: a workload is
+  flagged only when its current *median* exceeds the historical best
+  *min* by more than an IQR-derived band (see
+  :func:`regression_threshold`), so honest jitter inside the observed
+  spread never fails a run, while a real slowdown always does.
+
+Timing samples are wall-clock and therefore live only here and in the
+history file — never in result values or determinism digests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..core.params import DEFAULT_CONFIG, SystemConfig
+from .manifest import RunManifest, config_digest
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample."""
+    if not ordered:
+        raise ValueError("quantile of an empty sample")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)
+
+
+def new_run_id() -> str:
+    """A unique-enough id grouping the records of one bench invocation."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S.%f")
+    return f"{stamp}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One workload's timing under one bench run: samples + order stats."""
+
+    name: str
+    samples_s: tuple[float, ...]
+    warmup: int = 0
+    run_id: str = ""
+    recorded_at_utc: str = ""
+    min_s: float = 0.0
+    q1_s: float = 0.0
+    median_s: float = 0.0
+    q3_s: float = 0.0
+    manifest: RunManifest | None = field(default=None, compare=False)
+
+    @property
+    def iqr_s(self) -> float:
+        """The interquartile range — the record's own noise estimate."""
+        return self.q3_s - self.q1_s
+
+    @classmethod
+    def from_samples(cls, name: str, samples: Iterable[float],
+                     warmup: int = 0, run_id: str = "",
+                     recorded_at_utc: str = "",
+                     manifest: RunManifest | None = None) -> "BenchRecord":
+        """Build a record, deriving the order statistics from samples."""
+        values = tuple(float(s) for s in samples)
+        if not values:
+            raise ValueError("a bench record needs at least one sample")
+        ordered = sorted(values)
+        return cls(
+            name=name, samples_s=values, warmup=warmup, run_id=run_id,
+            recorded_at_utc=recorded_at_utc,
+            min_s=ordered[0],
+            q1_s=_quantile(ordered, 0.25),
+            median_s=_quantile(ordered, 0.5),
+            q3_s=_quantile(ordered, 0.75),
+            manifest=manifest,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-able dict (one ``BENCH_HISTORY.jsonl`` line)."""
+        row: dict[str, Any] = {
+            "kind": "bench",
+            "name": self.name,
+            "run_id": self.run_id,
+            "recorded_at_utc": self.recorded_at_utc,
+            "samples_s": list(self.samples_s),
+            "warmup": self.warmup,
+            "min_s": self.min_s,
+            "q1_s": self.q1_s,
+            "median_s": self.median_s,
+            "q3_s": self.q3_s,
+        }
+        if self.manifest is not None:
+            row["manifest"] = self.manifest.as_dict()
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "BenchRecord":
+        """Rebuild a record from :meth:`as_dict` output."""
+        manifest = row.get("manifest")
+        return cls.from_samples(
+            row["name"], row["samples_s"],
+            warmup=row.get("warmup", 0),
+            run_id=row.get("run_id", ""),
+            recorded_at_utc=row.get("recorded_at_utc", ""),
+            manifest=None if manifest is None
+            else RunManifest.from_dict(manifest),
+        )
+
+
+class BenchRunner:
+    """Warmup + best-of-k timing for benchmark workloads.
+
+    ``run(name, func, *args, **kwargs)`` calls ``func`` ``warmup``
+    times untimed and then ``repeats`` times timed, returning the
+    finished :class:`BenchRecord` together with the last call's result
+    (workloads are idempotent regenerations, so any call's result will
+    do).  All records accumulate on :attr:`records` for one
+    :func:`append_history` at the end.
+
+    ``scale`` multiplies every measured sample — a synthetic-slowdown
+    hook for exercising the regression gate (``repro bench run
+    --slowdown 2``) without actually making anything slower.  ``timer``
+    is injectable for deterministic tests.
+    """
+
+    def __init__(self, repeats: int = 5, warmup: int = 1,
+                 config: SystemConfig | None = None, scale: float = 1.0,
+                 timer: Callable[[], float] = time.perf_counter):
+        if repeats < 1:
+            raise ValueError("repeats must be a positive integer")
+        if warmup < 0:
+            raise ValueError("warmup cannot be negative")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.repeats = repeats
+        self.warmup = warmup
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.scale = scale
+        self.timer = timer
+        self.run_id = new_run_id()
+        self.records: list[BenchRecord] = []
+
+    def measure(self, name: str, func: Callable, *args: Any,
+                repeats: int | None = None, warmup: int | None = None,
+                **kwargs: Any) -> tuple[BenchRecord, Any]:
+        """Time one workload without recording it on :attr:`records`."""
+        from .. import __version__
+
+        repeats = self.repeats if repeats is None else repeats
+        warmup = self.warmup if warmup is None else warmup
+        if repeats < 1:
+            raise ValueError("repeats must be a positive integer")
+        started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        result: Any = None
+        for _ in range(warmup):
+            result = func(*args, **kwargs)
+        samples: list[float] = []
+        for _ in range(repeats):
+            t0 = self.timer()
+            result = func(*args, **kwargs)
+            samples.append((self.timer() - t0) * self.scale)
+        manifest = RunManifest(
+            experiment_id=f"bench.{name}",
+            config_digest=config_digest(self.config),
+            version=__version__,
+            started_at_utc=started_at,
+            wall_time_s=sum(samples),
+        )
+        record = BenchRecord.from_samples(
+            name, samples, warmup=warmup, run_id=self.run_id,
+            recorded_at_utc=started_at, manifest=manifest)
+        return record, result
+
+    def run(self, name: str, func: Callable, *args: Any,
+            repeats: int | None = None, warmup: int | None = None,
+            **kwargs: Any) -> tuple[BenchRecord, Any]:
+        """:meth:`measure`, with the record kept on :attr:`records`."""
+        record, result = self.measure(name, func, *args, repeats=repeats,
+                                      warmup=warmup, **kwargs)
+        self.records.append(record)
+        return record, result
+
+
+# -- the append-only history store --------------------------------------
+
+
+def append_history(records: Iterable[BenchRecord],
+                   path: str | Path) -> Path:
+    """Append records to the history file (created when missing)."""
+    path = Path(path)
+    with path.open("a") as handle:
+        for record in records:
+            handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: str | Path) -> list[BenchRecord]:
+    """Every record in the history file, in append order.
+
+    A missing file is an empty history; a malformed line raises
+    ``ValueError`` naming the file and line.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[BenchRecord] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+        if not isinstance(row, dict) or row.get("kind") != "bench":
+            raise ValueError(f"{path}:{lineno}: not a bench record")
+        records.append(BenchRecord.from_dict(row))
+    return records
+
+
+def group_by_name(records: Iterable[BenchRecord]
+                  ) -> dict[str, list[BenchRecord]]:
+    """Records grouped per workload name, preserving append order."""
+    grouped: dict[str, list[BenchRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.name, []).append(record)
+    return grouped
+
+
+def last_run(records: Sequence[BenchRecord]
+             ) -> tuple[list[BenchRecord], list[BenchRecord]]:
+    """Split history into (records of the latest run, everything before).
+
+    The latest run is the ``run_id`` of the final record; its records
+    are returned in order, with all earlier records as the baseline.
+    """
+    if not records:
+        return [], []
+    latest = records[-1].run_id
+    current = [r for r in records if r.run_id == latest]
+    earlier = [r for r in records if r.run_id != latest]
+    return current, earlier
+
+
+# -- the noise-aware regression gate ------------------------------------
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """How far above the historical baseline counts as a regression.
+
+    ``rel_floor`` is the always-tolerated relative band above the
+    baseline min (micro-benchmarks jitter a few percent run to run no
+    matter what).  ``iqr_mult`` widens the band for workloads whose own
+    history is noisy: the threshold also admits anything below the
+    worst historical q3 plus this many worst-case IQRs.  The effective
+    band is the max of the two, so the gate adapts to each workload's
+    observed spread instead of applying one brittle percentage.
+    """
+
+    rel_floor: float = 0.10
+    iqr_mult: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rel_floor < 0 or self.iqr_mult < 0:
+            raise ValueError("policy bands cannot be negative")
+
+
+DEFAULT_POLICY = RegressionPolicy()
+
+
+def regression_threshold(baseline: Sequence[BenchRecord],
+                         policy: RegressionPolicy = DEFAULT_POLICY) -> float:
+    """The slowest acceptable median given a workload's history."""
+    if not baseline:
+        raise ValueError("regression threshold needs at least one record")
+    base_min = min(r.min_s for r in baseline)
+    worst_q3 = max(r.q3_s for r in baseline)
+    worst_iqr = max(r.iqr_s for r in baseline)
+    band = max(policy.rel_floor * base_min,
+               (worst_q3 - base_min) + policy.iqr_mult * worst_iqr)
+    return base_min + band
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged workload: its median crossed the historical band."""
+
+    name: str
+    median_s: float
+    threshold_s: float
+    baseline_min_s: float
+
+    @property
+    def slowdown(self) -> float:
+        """Current median over the historical best min."""
+        if self.baseline_min_s <= 0:
+            return float("inf")
+        return self.median_s / self.baseline_min_s
+
+    def describe(self) -> str:
+        """A one-line human-readable report of the flag."""
+        return (f"REGRESSION {self.name}: median {self.median_s * 1e3:.3f} ms"
+                f" > threshold {self.threshold_s * 1e3:.3f} ms"
+                f" (baseline min {self.baseline_min_s * 1e3:.3f} ms,"
+                f" {self.slowdown:.2f}x)")
+
+
+def detect_regressions(current: Iterable[BenchRecord],
+                       history: Iterable[BenchRecord],
+                       policy: RegressionPolicy = DEFAULT_POLICY
+                       ) -> list[Regression]:
+    """Flag every current record whose median crossed its workload's band.
+
+    Workloads with no history pass silently — the first recorded run
+    *is* the baseline.
+    """
+    baseline = group_by_name(history)
+    flags: list[Regression] = []
+    for record in current:
+        prior = baseline.get(record.name)
+        if not prior:
+            continue
+        threshold = regression_threshold(prior, policy)
+        if record.median_s > threshold:
+            flags.append(Regression(
+                name=record.name,
+                median_s=record.median_s,
+                threshold_s=threshold,
+                baseline_min_s=min(r.min_s for r in prior),
+            ))
+    return flags

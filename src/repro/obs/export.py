@@ -238,9 +238,15 @@ def render_text(session: Telemetry, max_spans: int = 40) -> str:
             for key, cells in sorted(metric.series().items()):
                 counts, count, total = cells
                 mean = total / count if count else 0.0
-                lines.append(
-                    f"  {name}{_fmt_labels(_labels_dict(key))}  "
-                    f"count {count}  sum {total:.6g}  mean {mean:.6g}")
+                line = (f"  {name}{_fmt_labels(_labels_dict(key))}  "
+                        f"count {count}  sum {total:.6g}  mean {mean:.6g}")
+                if count:
+                    labels = _labels_dict(key)
+                    p50, p95, p99 = (metric.percentile(q, **labels)
+                                     for q in (50, 95, 99))
+                    line += (f"  p50 {p50:.6g}  p95 {p95:.6g}  "
+                             f"p99 {p99:.6g}")
+                lines.append(line)
                 for bound, n in zip(metric.buckets, counts):
                     if n:
                         lines.append(f"    le {bound:<10g} {n:>8}")

@@ -161,6 +161,34 @@ class Histogram:
         cells = self._series.get(_label_key(labels))
         return cells[2] if cells else 0.0
 
+    def percentile(self, q: float, **labels: Any) -> float:
+        """The ``q``-th percentile estimated from the fixed buckets.
+
+        Linear interpolation inside the bucket containing the rank —
+        the same estimate ``histogram_quantile`` makes in PromQL.  The
+        lower edge of the first bucket is 0 (or the bound itself when
+        negative); observations in the ``+Inf`` overflow bucket
+        resolve to the highest finite bound, which is the honest cap a
+        fixed-bucket histogram can report.  NaN when the label set has
+        no observations.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {q}")
+        cells = self._series.get(_label_key(labels))
+        if cells is None or cells[1] == 0:
+            return float("nan")
+        counts, count, _ = cells
+        rank = q / 100.0 * count
+        cumulative = 0
+        lower = min(0.0, self.buckets[0])
+        for bound, n in zip(self.buckets, counts):
+            if n and cumulative + n >= rank:
+                fraction = min(1.0, max(0.0, (rank - cumulative) / n))
+                return lower + (bound - lower) * fraction
+            cumulative += n
+            lower = bound
+        return self.buckets[-1]
+
     def bucket_counts(self, **labels: Any) -> tuple[int, ...]:
         """Per-bucket counts (last entry is the +Inf overflow bucket)."""
         cells = self._series.get(_label_key(labels))

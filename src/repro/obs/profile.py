@@ -1,0 +1,129 @@
+"""Hot-path profiles aggregated from recorded span trees.
+
+A span dump answers "what happened when"; a profile answers "where did
+the time go".  :class:`ProfileSession` folds the flat
+:class:`~repro.obs.spans.SpanRecord` list of a telemetry session into
+per-label totals:
+
+* **inclusive** time — the summed duration of every span with that
+  label (a label nested inside itself counts each level, as in any
+  tree profiler);
+* **exclusive** (self) time — inclusive time minus the time spent in
+  recorded child spans, clamped at zero per span so timing jitter in
+  children can never produce negative self-time.
+
+Spans whose parent is missing from the record set (an unclosed
+enclosing span at export time, or a trimmed dump) are treated as
+roots, so a partial trace still profiles cleanly.  The top-N
+``render`` is what ``repro run --profile`` and ``repro stats
+--profile`` print: the "phy waveform vs codec vs DES kernel vs merge"
+breakdown of any instrumented run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .spans import SpanRecord
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Aggregate timing of one span label across a whole session."""
+
+    name: str
+    count: int
+    inclusive_s: float
+    exclusive_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean inclusive duration per span."""
+        return self.inclusive_s / self.count if self.count else 0.0
+
+
+def aggregate_spans(records: Iterable[SpanRecord]) -> list[ProfileEntry]:
+    """Fold span records into per-label entries, hottest self-time first."""
+    records = list(records)
+    known = {r.span_id for r in records}
+    child_time: dict[int, float] = {}
+    for record in records:
+        if record.parent_id is not None and record.parent_id in known:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration_s)
+
+    totals: dict[str, list[float]] = {}
+    for record in records:
+        self_time = max(0.0, record.duration_s
+                        - child_time.get(record.span_id, 0.0))
+        cells = totals.get(record.name)
+        if cells is None:
+            totals[record.name] = [1, record.duration_s, self_time,
+                                   record.duration_s, record.duration_s]
+        else:
+            cells[0] += 1
+            cells[1] += record.duration_s
+            cells[2] += self_time
+            cells[3] = min(cells[3], record.duration_s)
+            cells[4] = max(cells[4], record.duration_s)
+
+    entries = [ProfileEntry(name=name, count=int(c[0]), inclusive_s=c[1],
+                            exclusive_s=c[2], min_s=c[3], max_s=c[4])
+               for name, c in totals.items()]
+    entries.sort(key=lambda e: (-e.exclusive_s, e.name))
+    return entries
+
+
+class ProfileSession:
+    """The per-label time breakdown of one recorded span set."""
+
+    __slots__ = ("entries", "total_s", "n_spans")
+
+    def __init__(self, entries: Sequence[ProfileEntry], total_s: float,
+                 n_spans: int):
+        self.entries = list(entries)
+        self.total_s = total_s
+        self.n_spans = n_spans
+
+    @classmethod
+    def from_records(cls, records: Iterable[SpanRecord]) -> "ProfileSession":
+        """Profile a flat span-record list (order irrelevant)."""
+        records = list(records)
+        known = {r.span_id for r in records}
+        total = sum(r.duration_s for r in records
+                    if r.parent_id is None or r.parent_id not in known)
+        return cls(aggregate_spans(records), total, len(records))
+
+    @classmethod
+    def from_session(cls, session) -> "ProfileSession":
+        """Profile the spans of a :class:`~repro.obs.runtime.Telemetry`."""
+        return cls.from_records(session.spans.records)
+
+    def hot(self, n: int = 10) -> list[ProfileEntry]:
+        """The top-``n`` labels by exclusive self-time."""
+        return self.entries[:max(0, n)]
+
+    def render(self, top: int = 15) -> str:
+        """The hot-path table as aligned terminal text."""
+        lines = [f"profile: {len(self.entries)} labels, "
+                 f"{self.n_spans} spans, total {self.total_s:.3f} s"]
+        if not self.entries:
+            return lines[0]
+        shown = self.hot(top)
+        width = max(4, max(len(e.name) for e in shown))
+        lines.append(f"  {'name':<{width}}  {'count':>6}  {'incl ms':>10}  "
+                     f"{'excl ms':>10}  {'excl %':>7}  {'mean ms':>10}")
+        for entry in shown:
+            share = (entry.exclusive_s / self.total_s * 100.0
+                     if self.total_s > 0 else 0.0)
+            lines.append(
+                f"  {entry.name:<{width}}  {entry.count:>6}  "
+                f"{entry.inclusive_s * 1e3:>10.2f}  "
+                f"{entry.exclusive_s * 1e3:>10.2f}  "
+                f"{share:>6.1f}%  {entry.mean_s * 1e3:>10.2f}")
+        if len(self.entries) > len(shown):
+            lines.append(f"  ... {len(self.entries) - len(shown)} more labels")
+        return "\n".join(lines)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Mapping
 
 _ACTIVE_SPAN: ContextVar["_OpenSpan | None"] = ContextVar(
     "repro_obs_active_span", default=None)
@@ -79,6 +79,12 @@ class _OpenSpan:
         self.span_id = recorder._next_id
         recorder._next_id += 1
         self.parent = _ACTIVE_SPAN.get()
+        if self.parent is not None and self.parent.recorder is not recorder:
+            # A span from another recorder (e.g. the session's, around a
+            # standalone recorder) cannot be a parent: parent links must
+            # stay within one recorder's id space, or absorb() would
+            # resolve them against the wrong sequence.
+            self.parent = None
         self.depth = 0 if self.parent is None else self.parent.depth + 1
         self._token = _ACTIVE_SPAN.set(self)
         self.start = time.perf_counter()
@@ -120,6 +126,63 @@ class SpanRecorder:
 
     def __len__(self) -> int:
         return len(self._finished)
+
+    def payload(self) -> dict[str, Any]:
+        """The recorder's spans as a picklable shard payload.
+
+        The inverse is :meth:`absorb` in another process's recorder;
+        the ``epoch`` rides along so the absorber can rebase the
+        timings onto its own timeline (``perf_counter`` reads the same
+        monotonic clock in every process of a machine).
+        """
+        return {"epoch": self.epoch,
+                "records": [r.as_dict() for r in self._finished]}
+
+    def absorb(self, payload: Mapping[str, Any], shard: int | None = None,
+               parent_id: int | None = None,
+               base_depth: int = 0) -> list[SpanRecord]:
+        """Fold a :meth:`payload` from another process into this recorder.
+
+        Span ids are remapped onto this recorder's sequence (parent
+        links inside the payload follow), start times are rebased from
+        the payload's epoch onto this recorder's, and ``shard`` (when
+        given) is stamped on every absorbed span's attributes — the
+        marker the Chrome-trace exporter uses to give each shard its
+        own pid.  Roots of the payload (and orphans whose parent is
+        missing from it) are stitched under ``parent_id`` at
+        ``base_depth``, so absorbed shard trees nest inside the span
+        that ran the sweep.  Returns the absorbed records.
+        """
+        rows = list(payload.get("records", ()))
+        offset = float(payload.get("epoch", self.epoch)) - self.epoch
+        ids = {row["span_id"]: self._next_id + i
+               for i, row in enumerate(rows)}
+        self._next_id += len(rows)
+        absorbed: list[SpanRecord] = []
+        for row in rows:
+            attrs = dict(row.get("attrs", {}))
+            if shard is not None:
+                attrs["shard"] = shard
+            old_parent = row.get("parent_id")
+            new_parent = (ids.get(old_parent, parent_id)
+                          if old_parent is not None else parent_id)
+            record = SpanRecord(
+                span_id=ids[row["span_id"]],
+                parent_id=new_parent,
+                name=row["name"],
+                depth=row.get("depth", 0) + base_depth,
+                start_s=row["start_s"] + offset,
+                duration_s=row["duration_s"],
+                attrs=tuple(sorted(attrs.items())),
+            )
+            self._finished.append(record)
+            absorbed.append(record)
+        return absorbed
+
+
+def active_span() -> "_OpenSpan | None":
+    """The innermost open span of the current context, or None."""
+    return _ACTIVE_SPAN.get()
 
 
 class NullSpan:

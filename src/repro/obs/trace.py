@@ -1,0 +1,147 @@
+"""Chrome trace-event JSON export for recorded span trees.
+
+The trace-event format (the ``chrome://tracing`` / Perfetto JSON
+schema) is the lingua franca of timeline viewers: complete events
+(``ph: "X"``) are drawn as slices, metadata events (``ph: "M"``) name
+processes, and flow events (``ph: "s"`` / ``ph: "f"``) draw arrows
+between them.  :func:`write_chrome_trace` renders a telemetry
+session's spans in exactly those terms:
+
+* spans recorded in the parent process land on pid
+  :data:`MAIN_PID`;
+* spans absorbed from sweep-shard workers (they carry a ``shard``
+  attribute, see :meth:`repro.obs.spans.SpanRecorder.absorb`) land on
+  one pid per shard, each named ``sweep shard <k>``;
+* every shard's root span gets a flow arrow from the parent timeline,
+  so the fan-out/absorb structure is visible as drawn edges.
+
+Timestamps are microseconds relative to the session epoch, ``dur`` is
+the span duration (zero-duration spans render as zero-width slices —
+legal in the schema).  Unclosed spans are by construction absent from
+the recorder, so a trace exported mid-run simply lacks them.
+:func:`validate_trace` checks a payload against the schema subset this
+module emits; the tests (and the CLI, cheaply) run every export
+through it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from .spans import SpanRecord
+
+MAIN_PID = 1
+"""The pid carrying spans recorded in the parent process."""
+
+_SHARD_PID_BASE = 2
+_ALLOWED_PHASES = {"X", "M", "s", "f"}
+
+
+def _shard_of(record: SpanRecord) -> int | None:
+    shard = record.get("shard")
+    return int(shard) if shard is not None else None
+
+
+def trace_events(records: Iterable[SpanRecord]) -> list[dict[str, Any]]:
+    """Span records as a trace-event list (see the module docstring)."""
+    records = list(records)
+    shards = sorted({s for s in map(_shard_of, records) if s is not None})
+    pid_of = {shard: _SHARD_PID_BASE + i for i, shard in enumerate(shards)}
+
+    events: list[dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": MAIN_PID, "tid": 0,
+        "ts": 0, "args": {"name": "repro main"},
+    }]
+    for shard in shards:
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid_of[shard],
+            "tid": 0, "ts": 0, "args": {"name": f"sweep shard {shard}"},
+        })
+
+    by_id = {r.span_id: r for r in records}
+    for record in records:
+        shard = _shard_of(record)
+        pid = MAIN_PID if shard is None else pid_of[shard]
+        args = {k: v for k, v in record.attrs}
+        args["span_id"] = record.span_id
+        events.append({
+            "ph": "X", "name": record.name, "cat": "repro",
+            "pid": pid, "tid": 0,
+            "ts": round(record.start_s * 1e6, 3),
+            "dur": round(max(record.duration_s, 0.0) * 1e6, 3),
+            "args": args,
+        })
+        if shard is None:
+            continue
+        parent = (by_id.get(record.parent_id)
+                  if record.parent_id is not None else None)
+        if parent is not None and _shard_of(parent) is not None:
+            continue
+        # A shard root: draw the fan-out arrow from the parent timeline
+        # (the stitched enclosing span when one exists) to the shard.
+        flow_id = f"shard-{shard}-{record.span_id}"
+        ts = round(record.start_s * 1e6, 3)
+        events.append({"ph": "s", "name": "sweep.fanout", "cat": "repro",
+                       "id": flow_id, "pid": MAIN_PID, "tid": 0, "ts": ts})
+        events.append({"ph": "f", "bp": "e", "name": "sweep.fanout",
+                       "cat": "repro", "id": flow_id, "pid": pid, "tid": 0,
+                       "ts": ts})
+    return events
+
+
+def chrome_trace(session) -> dict[str, Any]:
+    """A session's spans as a Chrome trace-event JSON object."""
+    return {
+        "traceEvents": trace_events(session.spans.records),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.trace"},
+    }
+
+
+def validate_trace(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` fits the emitted schema.
+
+    Checks the object form (``traceEvents`` list), the per-event
+    required keys, phase-specific fields (``X`` needs a non-negative
+    ``dur``; flow events need an ``id``) and timestamp sanity.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace payload must be an object with traceEvents")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        for key in ("ph", "name", "pid", "tid", "ts"):
+            if key not in event:
+                raise ValueError(f"{where}: missing {key!r}")
+        if event["ph"] not in _ALLOWED_PHASES:
+            raise ValueError(f"{where}: unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"{where}: ts must be a non-negative number")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"{where}: complete event needs non-negative dur")
+        if event["ph"] in ("s", "f") and "id" not in event:
+            raise ValueError(f"{where}: flow event needs an id")
+
+
+def write_chrome_trace(session, path: str | Path) -> Path:
+    """Write a session's spans as Chrome trace-event JSON.
+
+    The produced file loads directly in ``chrome://tracing`` and
+    https://ui.perfetto.dev.  The payload is validated before writing,
+    so a bug here fails loudly instead of producing a file the viewer
+    silently rejects.
+    """
+    payload = chrome_trace(session)
+    validate_trace(payload)
+    path = Path(path)
+    path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    return path

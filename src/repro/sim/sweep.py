@@ -29,7 +29,7 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from ..obs import active, metrics, span, telemetry_session
+from ..obs import active, active_span, metrics, span, telemetry_session
 
 
 def _run_seeded(func: Callable[[Any, np.random.Generator], Any],
@@ -38,25 +38,34 @@ def _run_seeded(func: Callable[[Any, np.random.Generator], Any],
     return func(point, np.random.default_rng(seed_seq))
 
 
-def _run_captured(func: Callable[[Any], Any], point: Any) -> tuple[Any, dict]:
+def _run_captured(func: Callable[[Any], Any], point: Any,
+                  index: int) -> tuple[Any, dict, dict]:
     """Run one point under a fresh child-process telemetry session.
 
-    Returns ``(result, metrics snapshot)`` so the parent can absorb the
-    shard into its own registry — the mergeability half of the
-    :class:`~repro.obs.metrics.MetricsRegistry` contract.
+    Returns ``(result, metrics snapshot, span payload)`` so the parent
+    can absorb the shard into its own registry and span recorder — the
+    mergeability half of the :class:`~repro.obs.metrics.MetricsRegistry`
+    contract plus the shard-stitching half of
+    :meth:`~repro.obs.spans.SpanRecorder.absorb`.  The worker itself
+    runs inside a ``sweep.point`` span, so every shard ships at least
+    its own per-point timing even when the workload has no deeper
+    instrumentation.
     """
     with telemetry_session() as session:
-        result = func(point)
-    return result, session.registry.snapshot()
+        with span("sweep.point", point=index):
+            result = func(point)
+    return result, session.registry.snapshot(), session.spans.payload()
 
 
-def _run_captured_seeded(func: Callable[[Any, np.random.Generator], Any],
-                         point: Any,
-                         seed_seq: np.random.SeedSequence) -> tuple[Any, dict]:
+def _run_captured_seeded(
+        func: Callable[[Any, np.random.Generator], Any], point: Any,
+        seed_seq: np.random.SeedSequence,
+        index: int) -> tuple[Any, dict, dict]:
     """Seeded variant of :func:`_run_captured` (same RNG contract)."""
     with telemetry_session() as session:
-        result = func(point, np.random.default_rng(seed_seq))
-    return result, session.registry.snapshot()
+        with span("sweep.point", point=index):
+            result = func(point, np.random.default_rng(seed_seq))
+    return result, session.registry.snapshot(), session.spans.payload()
 
 
 @dataclass(frozen=True)
@@ -112,14 +121,22 @@ class SweepRunner:
                     return list(pool.map(_run_seeded, [func] * len(points),
                                          points, seeds))
                 # Telemetry on: each worker runs under its own session
-                # and ships its registry snapshot back with the result.
+                # and ships its registry snapshot and span payload back
+                # with the result.
                 if seeds is None:
-                    pairs = list(pool.map(_run_captured,
-                                          [func] * len(points), points))
+                    triples = list(pool.map(_run_captured,
+                                            [func] * len(points), points,
+                                            range(len(points))))
                 else:
-                    pairs = list(pool.map(_run_captured_seeded,
-                                          [func] * len(points),
-                                          points, seeds))
-            for _, snapshot in pairs:
+                    triples = list(pool.map(_run_captured_seeded,
+                                            [func] * len(points),
+                                            points, seeds,
+                                            range(len(points))))
+            parent = active_span()
+            for shard, (_, snapshot, spans) in enumerate(triples):
                 session.registry.absorb(snapshot)
-            return [result for result, _ in pairs]
+                session.spans.absorb(
+                    spans, shard=shard,
+                    parent_id=None if parent is None else parent.span_id,
+                    base_depth=0 if parent is None else parent.depth + 1)
+            return [result for result, _, _ in triples]

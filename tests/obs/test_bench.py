@@ -1,0 +1,265 @@
+"""Bench records, the runner, the history store, the regression gate."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    BenchRecord,
+    BenchRunner,
+    RegressionPolicy,
+    append_history,
+    detect_regressions,
+    group_by_name,
+    last_run,
+    load_history,
+    regression_threshold,
+)
+
+
+class FakeTimer:
+    """A deterministic timer: returns pre-scripted instants in order."""
+
+    def __init__(self, *instants):
+        self.instants = list(instants)
+
+    def __call__(self):
+        return self.instants.pop(0)
+
+
+class TestBenchRecord:
+    def test_order_statistics_from_samples(self):
+        record = BenchRecord.from_samples("w", [4.0, 1.0, 3.0, 2.0])
+        assert record.min_s == 1.0
+        assert record.q1_s == 1.75
+        assert record.median_s == 2.5
+        assert record.q3_s == 3.25
+        assert record.iqr_s == pytest.approx(1.5)
+        assert record.samples_s == (4.0, 1.0, 3.0, 2.0)  # raw order kept
+
+    def test_single_sample_collapses_the_quartiles(self):
+        record = BenchRecord.from_samples("w", [0.5])
+        assert record.min_s == record.median_s == record.q3_s == 0.5
+        assert record.iqr_s == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            BenchRecord.from_samples("w", [])
+
+    def test_dict_round_trip(self):
+        record = BenchRecord.from_samples(
+            "w", [2.0, 1.0], warmup=1, run_id="r1",
+            recorded_at_utc="2026-08-06T00:00:00+00:00")
+        row = record.as_dict()
+        assert row["kind"] == "bench"
+        assert BenchRecord.from_dict(row) == record
+
+    def test_dict_round_trip_is_json_safe(self):
+        record = BenchRecord.from_samples("w", [1.0, 2.0, 3.0])
+        rebuilt = BenchRecord.from_dict(json.loads(
+            json.dumps(record.as_dict())))
+        assert rebuilt == record
+
+
+class TestBenchRunner:
+    def test_deterministic_timing_with_injected_timer(self):
+        # Three repeats: (1.0, 1.5), (2.0, 2.25), (3.0, 3.125).
+        timer = FakeTimer(1.0, 1.5, 2.0, 2.25, 3.0, 3.125)
+        runner = BenchRunner(repeats=3, warmup=0, timer=timer)
+        record, result = runner.run("w", lambda: 42)
+        assert result == 42
+        assert record.samples_s == (0.5, 0.25, 0.125)
+        assert record.min_s == 0.125
+        assert record.median_s == 0.25
+
+    def test_warmup_calls_are_untimed(self):
+        calls = []
+        timer = FakeTimer(1.0, 2.0)
+        runner = BenchRunner(repeats=1, warmup=2, timer=timer)
+        record, _ = runner.run("w", calls.append, None)
+        assert len(calls) == 3  # 2 warmups + 1 timed
+        assert record.samples_s == (1.0,)
+        assert record.warmup == 2
+
+    def test_scale_inflates_samples(self):
+        timer = FakeTimer(0.0, 1.0)
+        runner = BenchRunner(repeats=1, warmup=0, scale=2.5, timer=timer)
+        record, _ = runner.run("w", lambda: None)
+        assert record.samples_s == (2.5,)
+
+    def test_records_share_the_run_id(self):
+        runner = BenchRunner(repeats=1, warmup=0)
+        a, _ = runner.run("a", lambda: None)
+        b, _ = runner.run("b", lambda: None)
+        assert a.run_id == b.run_id == runner.run_id
+        assert [r.name for r in runner.records] == ["a", "b"]
+
+    def test_measure_does_not_record(self):
+        runner = BenchRunner(repeats=1, warmup=0)
+        runner.measure("w", lambda: None)
+        assert runner.records == []
+
+    def test_manifest_pins_provenance(self):
+        runner = BenchRunner(repeats=2, warmup=0)
+        record, _ = runner.run("w", lambda: None)
+        assert record.manifest is not None
+        assert record.manifest.experiment_id == "bench.w"
+        assert record.manifest.config_digest
+        assert record.manifest.wall_time_s == pytest.approx(
+            sum(record.samples_s))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BenchRunner(repeats=0)
+        with pytest.raises(ValueError):
+            BenchRunner(warmup=-1)
+        with pytest.raises(ValueError):
+            BenchRunner(scale=0.0)
+        with pytest.raises(ValueError):
+            BenchRunner().run("w", lambda: None, repeats=0)
+
+
+class TestHistoryStore:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        first = [BenchRecord.from_samples("a", [1.0], run_id="r1")]
+        second = [BenchRecord.from_samples("a", [2.0], run_id="r2"),
+                  BenchRecord.from_samples("b", [3.0], run_id="r2")]
+        append_history(first, path)
+        append_history(second, path)
+        loaded = load_history(path)
+        assert loaded == first + second
+
+    def test_malformed_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        record = BenchRecord.from_samples("a", [1.0])
+        append_history([record], path)
+        with path.open("a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ValueError, match=r"hist\.jsonl:2"):
+            load_history(path)
+
+    def test_non_bench_record_rejected(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"kind": "other"}\n')
+        with pytest.raises(ValueError, match="not a bench record"):
+            load_history(path)
+
+    def test_group_by_name_preserves_order(self):
+        records = [BenchRecord.from_samples("a", [1.0], run_id="r1"),
+                   BenchRecord.from_samples("b", [1.0], run_id="r1"),
+                   BenchRecord.from_samples("a", [2.0], run_id="r2")]
+        grouped = group_by_name(records)
+        assert list(grouped) == ["a", "b"]
+        assert [r.run_id for r in grouped["a"]] == ["r1", "r2"]
+
+    def test_last_run_splits_on_final_run_id(self):
+        records = [BenchRecord.from_samples("a", [1.0], run_id="r1"),
+                   BenchRecord.from_samples("a", [2.0], run_id="r2"),
+                   BenchRecord.from_samples("b", [3.0], run_id="r2")]
+        current, earlier = last_run(records)
+        assert [r.run_id for r in current] == ["r2", "r2"]
+        assert [r.run_id for r in earlier] == ["r1"]
+        assert last_run([]) == ([], [])
+
+
+class TestRegressionGate:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RegressionPolicy(rel_floor=-0.1)
+        with pytest.raises(ValueError):
+            RegressionPolicy(iqr_mult=-1.0)
+
+    def test_threshold_needs_history(self):
+        with pytest.raises(ValueError):
+            regression_threshold([])
+
+    def test_threshold_floor_dominates_for_tight_history(self):
+        baseline = [BenchRecord.from_samples("w", [1.0, 1.0, 1.0])]
+        policy = RegressionPolicy(rel_floor=0.10, iqr_mult=2.0)
+        assert regression_threshold(baseline, policy) == pytest.approx(1.1)
+
+    def test_threshold_widens_with_noisy_history(self):
+        baseline = [BenchRecord.from_samples("w", [1.0, 1.5, 2.0])]
+        policy = RegressionPolicy(rel_floor=0.10, iqr_mult=2.0)
+        # q3 = 1.75, iqr = 0.5 -> band = (1.75 - 1.0) + 2 * 0.5 = 1.75.
+        assert regression_threshold(baseline, policy) == pytest.approx(2.75)
+
+    def test_no_history_passes_silently(self):
+        current = [BenchRecord.from_samples("w", [10.0])]
+        assert detect_regressions(current, []) == []
+
+    def test_identical_run_never_flags(self):
+        samples = [1.0, 1.02, 1.05]
+        history = [BenchRecord.from_samples("w", samples, run_id="r1")]
+        current = [BenchRecord.from_samples("w", samples, run_id="r2")]
+        assert detect_regressions(current, history) == []
+
+    def test_double_slowdown_flags_with_describe(self):
+        history = [BenchRecord.from_samples("w", [1.0, 1.02, 1.05],
+                                            run_id="r1")]
+        current = [BenchRecord.from_samples("w", [2.0, 2.04, 2.1],
+                                            run_id="r2")]
+        (flag,) = detect_regressions(current, history)
+        assert flag.name == "w"
+        assert flag.slowdown == pytest.approx(2.04)
+        text = flag.describe()
+        assert text.startswith("REGRESSION w:")
+        assert "threshold" in text and "baseline min" in text
+
+    def test_gate_is_per_workload(self):
+        history = [BenchRecord.from_samples("a", [1.0], run_id="r1"),
+                   BenchRecord.from_samples("b", [1.0], run_id="r1")]
+        current = [BenchRecord.from_samples("a", [1.0], run_id="r2"),
+                   BenchRecord.from_samples("b", [5.0], run_id="r2")]
+        flags = detect_regressions(current, history)
+        assert [f.name for f in flags] == ["b"]
+
+
+class TestRegressionGateProperties:
+    """The satellite property: no false positives inside the tolerated
+    noise band, no false negatives at a 2x slowdown."""
+
+    @staticmethod
+    def _samples(base, noise, fractions):
+        # Deterministic samples spread across [base, base * (1 + noise)].
+        return [base * (1.0 + noise * f) for f in fractions]
+
+    @given(
+        base=st.floats(min_value=1e-4, max_value=10.0),
+        noise=st.floats(min_value=0.0, max_value=0.2),
+        rel_floor=st.floats(min_value=0.05, max_value=0.2),
+        baseline_fracs=st.lists(
+            st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+                      st.floats(0.0, 1.0)),
+            min_size=1, max_size=4),
+        current_fracs=st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0),
+                                st.floats(0.0, 1.0)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_no_false_positive_inside_band_and_2x_always_flags(
+            self, base, noise, rel_floor, baseline_fracs, current_fracs):
+        # Clamp the drawn noise strictly inside the policy's tolerated
+        # band (95% of it): samples then live within the spread the
+        # gate promises to tolerate, with margin against the ulp-level
+        # rounding of the threshold arithmetic itself.
+        noise = min(noise, 0.95 * rel_floor)
+        policy = RegressionPolicy(rel_floor=rel_floor, iqr_mult=2.0)
+        history = [
+            BenchRecord.from_samples("w", self._samples(base, noise, fracs),
+                                     run_id=f"r{i}")
+            for i, fracs in enumerate(baseline_fracs)
+        ]
+        same = [BenchRecord.from_samples(
+            "w", self._samples(base, noise, current_fracs), run_id="cur")]
+        assert detect_regressions(same, history, policy) == []
+
+        slow = [BenchRecord.from_samples(
+            "w", [2.0 * s for s in self._samples(base, noise, current_fracs)],
+            run_id="cur")]
+        assert len(detect_regressions(slow, history, policy)) == 1

@@ -130,3 +130,17 @@ class TestRenderText:
     def test_empty_session_renders_the_zero_header(self):
         assert render_text(Telemetry()) == ("telemetry: 0 counters, 0 gauges, "
                                             "0 histograms, 0 spans, 0 manifests")
+
+
+class TestRenderTextPercentiles:
+    def test_histogram_line_carries_p50_p95_p99(self):
+        text = render_text(_session())
+        (line,) = [ln for ln in text.splitlines()
+                   if ln.lstrip().startswith("repro_batch_size")]
+        assert "p50" in line and "p95" in line and "p99" in line
+
+    def test_empty_histogram_omits_percentiles(self):
+        session = Telemetry()
+        session.registry.histogram("repro_empty", buckets=(1.0,))
+        text = render_text(session)
+        assert "p50" not in text

@@ -95,3 +95,30 @@ class TestSweepAggregation:
         points = [400, 600]
         assert (SweepRunner(jobs=2).map(_count_errors, points, seed=7)
                 == SweepRunner().map(_count_errors, points, seed=7))
+
+
+class TestSweepShardSpans:
+    def test_parallel_shards_ship_spans_stitched_under_sweep_map(self):
+        points = [300, 400, 500]
+        with telemetry_session() as session:
+            SweepRunner(jobs=2).map(_count_errors, points, seed=3)
+        records = session.spans.records
+        (sweep_span,) = [r for r in records if r.name == "sweep.map"]
+        shard_points = [r for r in records if r.name == "sweep.point"]
+        # One per grid point, each stamped with its shard index and
+        # stitched directly under the sweep.map span.
+        assert len(shard_points) == len(points)
+        assert sorted(r.get("shard") for r in shard_points) == [0, 1, 2]
+        assert {r.get("point") for r in shard_points} == {0, 1, 2}
+        for record in shard_points:
+            assert record.parent_id == sweep_span.span_id
+            assert record.depth == sweep_span.depth + 1
+            # Rebasing puts every shard inside the parent's timeline.
+            assert record.start_s >= 0.0
+            assert (record.start_s + record.duration_s
+                    <= sweep_span.start_s + sweep_span.duration_s + 0.5)
+
+    def test_serial_sweep_has_no_shard_attrs(self):
+        with telemetry_session() as session:
+            SweepRunner().map(_count_errors, [300], seed=3)
+        assert all(r.get("shard") is None for r in session.spans.records)

@@ -230,3 +230,50 @@ class TestMergeAlgebra:
         assert merged.counter("c").value() == 3.0
         assert a.counter("c").value() == 1.0
         assert b.counter("c").value() == 2.0
+
+
+class TestHistogramPercentile:
+    def test_interpolates_within_a_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            h.observe(0.5)
+        assert h.percentile(50) == pytest.approx(0.5)
+        assert h.percentile(0) == pytest.approx(0.0)
+        assert h.percentile(100) == pytest.approx(1.0)
+
+    def test_crosses_buckets_at_the_rank(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(2.5)
+        h.observe(3.5)
+        assert h.percentile(50) == pytest.approx(2.0)
+        assert h.percentile(75) == pytest.approx(3.0)
+
+    def test_overflow_resolves_to_highest_finite_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(100.0)
+        assert h.percentile(99) == pytest.approx(4.0)
+
+    def test_negative_first_bucket_uses_its_own_edge(self):
+        h = Histogram("delta", buckets=(-2.0, 1.0))
+        h.observe(-2.5)  # lands in the (-inf, -2] bucket
+        assert h.percentile(50) == pytest.approx(-2.0)
+
+    def test_empty_series_is_nan(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.percentile(50) != h.percentile(50)  # NaN
+
+    def test_labels_split_estimates(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5, scheme="amppm")
+        h.observe(1.5, scheme="vpwm")
+        assert h.percentile(50, scheme="amppm") < 1.0
+        assert h.percentile(50, scheme="vpwm") > 1.0
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)

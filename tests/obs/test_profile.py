@@ -1,0 +1,122 @@
+"""Profiles: inclusive/exclusive aggregation and the hot-path table."""
+
+import pytest
+
+from repro.obs import (
+    ProfileSession,
+    SpanRecorder,
+    aggregate_spans,
+    span,
+    telemetry_session,
+)
+from repro.obs.spans import SpanRecord
+
+
+def _span(span_id, parent_id, name, start, duration, depth=0):
+    return SpanRecord(span_id=span_id, parent_id=parent_id, name=name,
+                      depth=depth, start_s=start, duration_s=duration)
+
+
+class TestAggregateSpans:
+    def test_exclusive_subtracts_recorded_children(self):
+        records = [_span(0, None, "outer", 0.0, 1.0),
+                   _span(1, 0, "inner", 0.1, 0.3, depth=1),
+                   _span(2, 0, "inner", 0.5, 0.2, depth=1)]
+        entries = {e.name: e for e in aggregate_spans(records)}
+        assert entries["outer"].inclusive_s == pytest.approx(1.0)
+        assert entries["outer"].exclusive_s == pytest.approx(0.5)
+        assert entries["inner"].count == 2
+        assert entries["inner"].inclusive_s == pytest.approx(0.5)
+        assert entries["inner"].exclusive_s == pytest.approx(0.5)
+        assert entries["inner"].min_s == pytest.approx(0.2)
+        assert entries["inner"].max_s == pytest.approx(0.3)
+        assert entries["inner"].mean_s == pytest.approx(0.25)
+
+    def test_self_time_clamped_at_zero(self):
+        # Child jitter can sum past the parent's own duration; the
+        # parent's self-time must clamp at zero, not go negative.
+        records = [_span(0, None, "outer", 0.0, 1.0),
+                   _span(1, 0, "inner", 0.0, 1.2, depth=1)]
+        entries = {e.name: e for e in aggregate_spans(records)}
+        assert entries["outer"].exclusive_s == 0.0
+
+    def test_orphan_parent_treated_as_root(self):
+        # Parent id 99 was never recorded (unclosed at export time).
+        records = [_span(0, 99, "work", 0.0, 0.4, depth=1)]
+        (entry,) = aggregate_spans(records)
+        assert entry.name == "work"
+        assert entry.exclusive_s == pytest.approx(0.4)
+
+    def test_zero_duration_span_aggregates(self):
+        records = [_span(0, None, "instant", 0.0, 0.0)]
+        (entry,) = aggregate_spans(records)
+        assert entry.inclusive_s == 0.0
+        assert entry.exclusive_s == 0.0
+        assert entry.mean_s == 0.0
+
+    def test_sorted_by_exclusive_then_name(self):
+        records = [_span(0, None, "b", 0.0, 0.5),
+                   _span(1, None, "a", 1.0, 0.5),
+                   _span(2, None, "c", 2.0, 0.9)]
+        names = [e.name for e in aggregate_spans(records)]
+        assert names == ["c", "a", "b"]
+
+    def test_empty_records(self):
+        assert aggregate_spans([]) == []
+
+
+class TestProfileSession:
+    def test_total_is_sum_of_roots(self):
+        records = [_span(0, None, "outer", 0.0, 1.0),
+                   _span(1, 0, "inner", 0.1, 0.3, depth=1),
+                   _span(2, None, "other", 2.0, 0.5)]
+        profile = ProfileSession.from_records(records)
+        assert profile.total_s == pytest.approx(1.5)
+        assert profile.n_spans == 3
+
+    def test_orphans_count_toward_total(self):
+        records = [_span(0, 99, "work", 0.0, 0.4, depth=1)]
+        profile = ProfileSession.from_records(records)
+        assert profile.total_s == pytest.approx(0.4)
+
+    def test_from_session_uses_recorded_spans(self):
+        with telemetry_session() as session:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        profile = ProfileSession.from_session(session)
+        assert profile.n_spans == 2
+        assert {e.name for e in profile.entries} == {"outer", "inner"}
+
+    def test_hot_limits_and_clamps(self):
+        records = [_span(i, None, f"w{i}", float(i), 0.1) for i in range(5)]
+        profile = ProfileSession.from_records(records)
+        assert len(profile.hot(3)) == 3
+        assert profile.hot(-1) == []
+
+    def test_render_table_shape(self):
+        records = [_span(0, None, "outer", 0.0, 1.0),
+                   _span(1, 0, "inner", 0.1, 0.3, depth=1)]
+        text = ProfileSession.from_records(records).render()
+        lines = text.splitlines()
+        assert lines[0] == "profile: 2 labels, 2 spans, total 1.000 s"
+        assert "excl %" in lines[1]
+        assert any(line.lstrip().startswith("outer") for line in lines)
+
+    def test_render_truncates_past_top(self):
+        records = [_span(i, None, f"w{i}", float(i), 0.1) for i in range(4)]
+        text = ProfileSession.from_records(records).render(top=2)
+        assert "... 2 more labels" in text
+
+    def test_render_empty_session(self):
+        text = ProfileSession.from_records([]).render()
+        assert text == "profile: 0 labels, 0 spans, total 0.000 s"
+
+    def test_shares_sum_to_total_when_leaves_cover(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        profile = ProfileSession.from_records(recorder.records)
+        excl = sum(e.exclusive_s for e in profile.entries)
+        assert excl == pytest.approx(profile.total_s, rel=1e-6)

@@ -1,0 +1,190 @@
+"""Chrome trace export: schema, shard pids, flow arrows, validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanRecorder,
+    Telemetry,
+    chrome_trace,
+    read_telemetry_jsonl,
+    span,
+    telemetry_session,
+    trace_events,
+    validate_trace,
+    write_chrome_trace,
+    write_telemetry_jsonl,
+)
+from repro.obs.trace import MAIN_PID
+
+
+def _session_with(recorder):
+    session = Telemetry()
+    session.spans._finished.extend(recorder.records)
+    return session
+
+
+class TestTraceEvents:
+    def test_parent_spans_land_on_main_pid(self):
+        recorder = SpanRecorder()
+        with recorder.span("work", n=3):
+            pass
+        events = trace_events(recorder.records)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["repro main"]
+        (x,) = [e for e in events if e["ph"] == "X"]
+        assert x["pid"] == MAIN_PID
+        assert x["name"] == "work"
+        assert x["args"]["n"] == 3
+        assert "span_id" in x["args"]
+        assert x["dur"] >= 0
+
+    def test_timestamps_are_microseconds(self):
+        recorder = SpanRecorder()
+        with recorder.span("work"):
+            pass
+        (record,) = recorder.records
+        (x,) = [e for e in trace_events(recorder.records) if e["ph"] == "X"]
+        assert x["ts"] == pytest.approx(record.start_s * 1e6, abs=1e-3)
+        assert x["dur"] == pytest.approx(record.duration_s * 1e6, abs=1e-3)
+
+    def test_zero_duration_span_renders_zero_width(self):
+        recorder = SpanRecorder()
+        with recorder.span("instant"):
+            pass
+        record = recorder.records[0]
+        zero = record.__class__(
+            span_id=record.span_id, parent_id=None, name="instant",
+            depth=0, start_s=record.start_s, duration_s=0.0)
+        (x,) = [e for e in trace_events([zero]) if e["ph"] == "X"]
+        assert x["dur"] == 0.0
+
+    def test_absorbed_shards_get_own_pids_and_flows(self):
+        parent = SpanRecorder()
+        with parent.span("sweep.map"):
+            pass
+        anchor = parent.records[0]
+
+        payloads = []
+        for _ in range(2):
+            child = SpanRecorder()
+            with child.span("sweep.point"):
+                with child.span("work"):
+                    pass
+            payloads.append(child.payload())
+        for shard, payload in enumerate(payloads):
+            parent.absorb(payload, shard=shard,
+                          parent_id=anchor.span_id, base_depth=1)
+
+        events = trace_events(parent.records)
+        meta_names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert meta_names == ["repro main", "sweep shard 0", "sweep shard 1"]
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert MAIN_PID in pids and len(pids) == 3
+
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        # One arrow per shard root, from the main timeline to the shard.
+        assert len(starts) == len(finishes) == 2
+        for s, f in zip(starts, finishes):
+            assert s["id"] == f["id"]
+            assert s["pid"] == MAIN_PID
+            assert f["pid"] != MAIN_PID
+            assert f["bp"] == "e"
+        # Nested shard spans do not get their own arrows.
+        shard_x = [e for e in events
+                   if e["ph"] == "X" and e["pid"] != MAIN_PID]
+        assert len(shard_x) == 4  # 2 shards x (sweep.point + work)
+
+
+class TestValidateTrace:
+    def _valid(self):
+        recorder = SpanRecorder()
+        with recorder.span("work"):
+            pass
+        return chrome_trace(_session_with(recorder))
+
+    def test_valid_payload_passes(self):
+        validate_trace(self._valid())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace([])
+
+    def test_rejects_missing_keys(self):
+        payload = self._valid()
+        del payload["traceEvents"][0]["pid"]
+        with pytest.raises(ValueError, match="missing 'pid'"):
+            validate_trace(payload)
+
+    def test_rejects_unknown_phase(self):
+        payload = self._valid()
+        payload["traceEvents"][0]["ph"] = "Z"
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_trace(payload)
+
+    def test_rejects_negative_ts(self):
+        payload = self._valid()
+        payload["traceEvents"][-1]["ts"] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_trace(payload)
+
+    def test_rejects_complete_event_without_dur(self):
+        payload = self._valid()
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X":
+                del event["dur"]
+        with pytest.raises(ValueError, match="dur"):
+            validate_trace(payload)
+
+    def test_rejects_flow_without_id(self):
+        payload = self._valid()
+        payload["traceEvents"].append(
+            {"ph": "s", "name": "flow", "pid": 1, "tid": 0, "ts": 0.0})
+        with pytest.raises(ValueError, match="flow event needs an id"):
+            validate_trace(payload)
+
+
+class TestWriteChromeTrace:
+    def test_written_file_is_valid_json_trace(self, tmp_path):
+        with telemetry_session() as session:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        path = write_chrome_trace(session, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        validate_trace(payload)
+        assert payload["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"}
+        assert names == {"outer", "inner"}
+
+    def test_shard_tree_round_trips_through_jsonl(self, tmp_path):
+        # Absorb a shard, dump the session as telemetry JSONL, rebuild
+        # it, and export the rebuilt session: the shard structure
+        # (extra pid + flow arrows) must survive the round trip.
+        with telemetry_session() as session:
+            with span("sweep.map"):
+                child = SpanRecorder()
+                with child.span("sweep.point"):
+                    pass
+                session.spans.absorb(child.payload(), shard=0,
+                                     parent_id=None, base_depth=1)
+
+        dump = write_telemetry_jsonl(session, tmp_path / "telemetry.jsonl")
+        rebuilt = read_telemetry_jsonl(dump)
+        path = write_chrome_trace(rebuilt, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        validate_trace(payload)
+        pids = {e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) == 2
+        assert any(e["ph"] == "s" for e in payload["traceEvents"])
+        assert any(e["ph"] == "f" for e in payload["traceEvents"])
+
+    def test_empty_session_still_validates(self, tmp_path):
+        session = Telemetry()
+        path = write_chrome_trace(session, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        validate_trace(payload)
+        assert [e["ph"] for e in payload["traceEvents"]] == ["M"]

@@ -262,6 +262,156 @@ class TestInfo:
         assert "candidates" in text
 
 
+class TestTraceAndProfile:
+    def test_run_trace_exports_valid_chrome_trace(self, tmp_path):
+        from repro.obs import validate_trace
+
+        target = tmp_path / "trace.json"
+        code, text, _ = run_cli("run", "fig04", "--trace", str(target))
+        assert code == 0
+        assert "[trace]" in text
+        payload = json.loads(target.read_text())
+        validate_trace(payload)
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "experiment.fig04" in names
+
+    def test_parallel_run_trace_carries_shard_pids_and_flows(self, tmp_path):
+        target = tmp_path / "trace.json"
+        code, _, _ = run_cli("run", "fig15", "--jobs", "2",
+                             "--trace", str(target))
+        assert code == 0
+        payload = json.loads(target.read_text())
+        pids = {e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert 1 in pids and len(pids) > 1  # parent + sweep shards
+        assert any(e["ph"] == "s" for e in payload["traceEvents"])
+        assert any(e["ph"] == "f" for e in payload["traceEvents"])
+
+    def test_run_profile_prints_hot_path_table(self):
+        code, text, err = run_cli("run", "fig04", "--profile")
+        assert code == 0
+        assert err == ""
+        assert "profile:" in text
+        assert "excl %" in text
+        assert "experiment.fig04" in text
+
+    def test_profile_does_not_change_results(self):
+        _, plain, _ = run_cli("run", "fig04")
+        _, profiled, _ = run_cli("run", "fig04", "--profile")
+        assert profiled.startswith(plain)
+
+    def test_stats_profile_renders_from_dump(self, tmp_path):
+        target = tmp_path / "telemetry.jsonl"
+        run_cli("run", "fig04", "--telemetry", str(target))
+        code, text, err = run_cli("stats", str(target), "--profile")
+        assert code == 0
+        assert err == ""
+        assert text.startswith("profile:")
+        assert "experiment.fig04" in text
+
+
+class TestBench:
+    """The perf harness: run / diff / history against a JSONL store."""
+
+    WORKLOAD = "codec.roundtrip"
+
+    def _run(self, history, *extra):
+        return run_cli("bench", "run", self.WORKLOAD, "--repeats", "2",
+                       "--warmup", "0", "--history", str(history), *extra)
+
+    def test_first_run_records_without_flags(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        code, text, err = self._run(history)
+        assert code == 0
+        assert err == ""
+        assert self.WORKLOAD in text
+        assert "no regressions" in text
+        assert history.exists()
+
+    def test_identical_reruns_never_flag(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        assert self._run(history)[0] == 0
+        code, text, _ = self._run(history)
+        assert code == 0
+        assert "no regressions" in text
+
+    def test_synthetic_slowdown_is_flagged_but_not_recorded(self, tmp_path):
+        from repro.obs.bench import load_history
+
+        history = tmp_path / "hist.jsonl"
+        assert self._run(history)[0] == 0
+        before = len(load_history(history))
+        code, text, _ = self._run(history, "--slowdown", "2.0")
+        assert code == 1
+        assert f"REGRESSION {self.WORKLOAD}:" in text
+        assert "not recorded" in text
+        assert len(load_history(history)) == before
+
+    def test_unknown_workload_lists_known(self, tmp_path):
+        code, text, err = run_cli("bench", "run", "nope",
+                                  "--history", str(tmp_path / "h.jsonl"))
+        assert code == 2
+        assert text == ""
+        assert "unknown workloads" in err
+        assert self.WORKLOAD in err
+
+    def test_bad_arguments_exit_2(self, tmp_path):
+        history = str(tmp_path / "h.jsonl")
+        for argv in (("bench", "run", "--repeats", "0"),
+                     ("bench", "run", "--warmup", "-1"),
+                     ("bench", "run", "--slowdown", "0"),
+                     ("bench", "run", "--rel-floor", "-0.1"),
+                     ("bench", "diff", "--iqr-mult", "-1")):
+            code, _, err = run_cli(*argv, "--history", history)
+            assert code == 2, argv
+            assert err != ""
+
+    def test_diff_needs_two_runs(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        code, _, err = run_cli("bench", "diff", "--history", str(history))
+        assert code == 2
+        assert "no bench history" in err
+        self._run(history)
+        code, text, _ = run_cli("bench", "diff", "--history", str(history))
+        assert code == 0
+        assert "nothing to diff" in text
+
+    def test_diff_rejudges_the_last_run(self, tmp_path):
+        from repro.obs.bench import (BenchRecord, append_history,
+                                     load_history)
+
+        history = tmp_path / "hist.jsonl"
+        self._run(history)
+        # Append a genuinely slow later run by hand (the CLI refuses to
+        # record synthetic ones), then re-judge it.
+        slow = [BenchRecord.from_samples(
+            r.name, [3.0 * s for s in r.samples_s], warmup=r.warmup,
+            run_id="slow-run", recorded_at_utc=r.recorded_at_utc)
+            for r in load_history(history)]
+        append_history(slow, history)
+        code, text, _ = run_cli("bench", "diff", "--history", str(history))
+        assert code == 1
+        assert f"REGRESSION {self.WORKLOAD}:" in text
+
+    def test_history_lists_and_filters(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        self._run(history)
+        code, text, _ = run_cli("bench", "history",
+                                "--history", str(history))
+        assert code == 0
+        assert self.WORKLOAD in text
+        code, _, err = run_cli("bench", "history", "other.workload",
+                               "--history", str(history))
+        assert code == 2
+        assert "no records" in err
+
+    def test_history_missing_file(self, tmp_path):
+        code, _, err = run_cli("bench", "history",
+                               "--history", str(tmp_path / "none.jsonl"))
+        assert code == 2
+        assert "no bench history" in err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
