@@ -3,7 +3,10 @@
 Times the ``ext-multicell`` regeneration, re-checks the determinism
 contract (two same-seed runs, identical journals), and emits
 ``BENCH_multicell.json`` at the repository root so the subsystem's
-performance trajectory is recorded run over run.
+performance trajectory is recorded run over run.  The fleet bench
+additionally races the legacy all-pairs kernel against the spatially
+indexed + sharded one on an 8x8 grid and pins the speedup floor the
+sharding work promises (>= 5x events/s).
 """
 
 import json
@@ -58,3 +61,51 @@ def test_bench_multicell(bench, config):
 
     # The floor: a 30 s, 4-node, 2x2 run must stay interactive.
     assert t_single < 5.0
+
+
+@pytest.mark.perf
+def test_bench_multicell_fleet(config):
+    """All-pairs baseline vs indexed + sharded kernel on an 8x8 fleet."""
+    duration = 8.0
+
+    baseline = default_network(config, rows=8, cols=8, n_nodes=32, seed=11,
+                               use_spatial_index=False)
+    t0 = time.perf_counter()
+    base_result = baseline.run(duration)
+    t_base = time.perf_counter() - t0
+    base_rate = len(base_result.journal) / t_base
+
+    sharded = default_network(config, rows=8, cols=8, n_nodes=32, seed=11,
+                              regions=4)
+    t0 = time.perf_counter()
+    fleet_result = sharded.run(duration)
+    t_fleet = time.perf_counter() - t0
+    fleet_rate = len(fleet_result.journal) / t_fleet
+
+    # Same scenario, same physics: the sharded run must do the same
+    # amount of work (event-for-event) and reproduce itself per seed.
+    assert len(fleet_result.shards) == 4
+    repeat = default_network(config, rows=8, cols=8, n_nodes=32, seed=11,
+                             regions=4).run(duration)
+    assert journals_equal(fleet_result.journal, repeat.journal)
+    assert fleet_result.metrics() == repeat.metrics()
+
+    speedup = fleet_rate / base_rate
+    payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    payload["fleet"] = {
+        "grid": [8, 8],
+        "nodes": 32,
+        "regions": 4,
+        "duration_s": duration,
+        "allpairs_events_per_s": round(base_rate, 1),
+        "sharded_events_per_s": round(fleet_rate, 1),
+        "speedup": round(speedup, 2),
+        "journal_events": len(fleet_result.journal),
+        "journal_digest": fleet_result.journal.digest(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nmulticell fleet: all-pairs {base_rate:.0f} events/s, "
+          f"sharded(4) {fleet_rate:.0f} events/s -> {speedup:.1f}x")
+
+    # The acceptance floor for the sharding work.
+    assert speedup >= 5.0

@@ -150,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="mobile receivers (default 4)")
     journal_cmd.add_argument("--duration", type=float, default=30.0,
                              metavar="S", help="simulated seconds (default 30)")
+    journal_cmd.add_argument("--regions", type=int, default=1, metavar="R",
+                             help="spatial shards for the DES kernel "
+                                  "(default 1: unsharded)")
     journal_cmd.add_argument("--seed", type=int, default=13,
                              help="scenario seed (default 13)")
     journal_cmd.add_argument("--tail", type=int, default=12, metavar="K",
@@ -288,8 +291,11 @@ def _describe_record(record, baseline) -> str:
 def _cmd_bench_run(names: Sequence[str], repeats: int, warmup: int,
                    history: str, slowdown: float, rel_floor: float,
                    iqr_mult: float, out, err) -> int:
+    import os
+    import time
+
     from .obs.bench import (BenchRunner, append_history, detect_regressions,
-                            group_by_name, load_history)
+                            deterministic_timer, group_by_name, load_history)
     from .obs.workloads import bench_workloads
 
     if repeats < 1:
@@ -313,7 +319,19 @@ def _cmd_bench_run(names: Sequence[str], repeats: int, warmup: int,
     except ValueError as exc:
         return _fail(err, f"corrupt history file: {exc}")
     baseline = group_by_name(prior)
-    runner = BenchRunner(repeats=repeats, warmup=warmup, scale=slowdown)
+    # REPRO_BENCH_TIMER=fake swaps wall-clock timing for a
+    # deterministic step clock, for tests that exercise the
+    # run/record/gate plumbing rather than the host's performance.
+    timer_mode = os.environ.get("REPRO_BENCH_TIMER", "wall") or "wall"
+    if timer_mode == "fake":
+        timer = deterministic_timer()
+    elif timer_mode == "wall":
+        timer = time.perf_counter
+    else:
+        return _fail(err, f"REPRO_BENCH_TIMER must be 'wall' or 'fake', "
+                          f"got {timer_mode!r}")
+    runner = BenchRunner(repeats=repeats, warmup=warmup, scale=slowdown,
+                         timer=timer)
     print(f"bench run {runner.run_id}: {len(requested)} workloads, "
           f"{warmup} warmup + {repeats} repeats", file=out)
     for name in requested:
@@ -416,7 +434,7 @@ def _cmd_design(dimming: float, out, err) -> int:
 
 
 def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
-                 tail: int, jsonl: str | None, out, err) -> int:
+                 regions: int, tail: int, jsonl: str | None, out, err) -> int:
     from .des import write_journal_jsonl
     from .net.multicell import default_network
 
@@ -430,11 +448,16 @@ def _cmd_journal(grid: str, nodes: int, duration: float, seed: int,
                           "--duration > 0")
     if tail < 0:
         return _fail(err, f"--tail must be non-negative, got {tail}")
+    if regions < 1 or regions > rows * cols:
+        return _fail(err, f"--regions must lie in [1, {rows * cols}] for a "
+                          f"{rows}x{cols} grid, got {regions}")
     simulation = default_network(rows=rows, cols=cols, n_nodes=nodes,
-                                 seed=seed)
+                                 seed=seed, regions=regions)
     result = simulation.run(duration)
+    shards = (f", {regions} regions ({len(result.shards)} shards)"
+              if regions > 1 else "")
     print(f"multicell {rows}x{cols}, {nodes} nodes, {duration:g} s, "
-          f"seed {seed}", file=out)
+          f"seed {seed}{shards}", file=out)
     print(f"  aggregate goodput : "
           f"{result.aggregate_throughput_bps / 1e3:.1f} Kbps", file=out)
     print(f"  handovers         : {result.total_handovers}", file=out)
@@ -542,7 +565,7 @@ def main(argv: Sequence[str] | None = None, out=None, err=None) -> int:
         return _cmd_design(args.dimming, out, err)
     if args.command == "journal":
         return _cmd_journal(args.grid, args.nodes, args.duration, args.seed,
-                            args.tail, args.jsonl, out, err)
+                            args.regions, args.tail, args.jsonl, out, err)
     if args.command == "chaos":
         return _cmd_chaos(args.schedule, args.duration, args.seed,
                           args.intensity, args.unsupervised, out, err)

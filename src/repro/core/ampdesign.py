@@ -90,6 +90,26 @@ class AmppmDesigner:
         self._envelope = slope_walk_envelope(self._candidates, self.errors)
         self._cache: dict[int, AmppmDesign] = {}
 
+    def fork(self) -> "AmppmDesigner":
+        """A designer reusing this one's tables but with a fresh memo.
+
+        Candidate filtering and envelope construction dominate setup
+        and are pure in ``(config, errors)``, so forks share them.  The
+        design memo is deliberately *not* shared: its key quantizes the
+        dimming request to the perceived resolution, so a shared memo
+        would hand one consumer's design to another whose request
+        differs within a bucket.  Independent consumers (e.g. the
+        per-cell lighting controllers of a fleet) fork one template
+        designer and stay bit-identical to fully independent ones.
+        """
+        other = object.__new__(type(self))
+        other.config = self.config
+        other.errors = self.errors
+        other._candidates = self._candidates
+        other._envelope = self._envelope
+        other._cache = {}
+        return other
+
     @property
     def candidates(self) -> list[SymbolPattern]:
         """Patterns surviving Steps 1-2 (copy; the designer's set is fixed)."""

@@ -58,11 +58,12 @@ class CancelledEventError(RuntimeError):
 class EventHandle:
     """A cancellable reference to a not-yet-dispatched event."""
 
-    __slots__ = ("event", "_cancelled")
+    __slots__ = ("event", "_cancelled", "_scheduler")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, scheduler: "EventScheduler | None" = None):
         self.event = event
         self._cancelled = False
+        self._scheduler = scheduler
 
     @property
     def cancelled(self) -> bool:
@@ -70,8 +71,16 @@ class EventHandle:
         return self._cancelled
 
     def cancel(self) -> None:
-        """Prevent the event's callback from running (idempotent)."""
+        """Prevent the event's callback from running (idempotent).
+
+        The owning scheduler is notified so it can account for the dead
+        heap entry (and compact the heap once cancellations dominate).
+        """
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._note_cancelled()
 
 
 class ProcessHandle:
@@ -112,12 +121,19 @@ class EventScheduler:
     """
 
     journal: EventJournal | None = None
+    compact_min_pending: int = 64
+    compact_fraction: float = 0.5
 
     def __post_init__(self) -> None:
+        if not 0.0 < self.compact_fraction <= 1.0:
+            raise ValueError("compact_fraction must lie in (0, 1]")
+        if self.compact_min_pending < 1:
+            raise ValueError("compact_min_pending must be positive")
         self._heap: list[tuple[float, int, int, EventHandle,
                                Callable[[Event], None] | None]] = []
         self._seq = 0
         self._now = 0.0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -126,8 +142,34 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """Account for a handle cancelled while still on the heap.
+
+        Timer-heavy workloads (retransmission timers, fault schedules)
+        cancel far more events than they dispatch; without compaction
+        the dead entries pile up and degrade every ``heappush``.  Once
+        cancelled entries exceed ``compact_fraction`` of a heap at least
+        ``compact_min_pending`` long, the heap is rebuilt without them —
+        amortized O(1) per cancellation.
+        """
+        self._cancelled_in_heap += 1
+        if (len(self._heap) >= self.compact_min_pending
+                and self._cancelled_in_heap
+                > self.compact_fraction * len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        live = [entry for entry in self._heap if not entry[3].cancelled]
+        for entry in self._heap:
+            if entry[3].cancelled:
+                entry[3]._scheduler = None
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
 
     def schedule(self, delay_s: float, kind: str,
                  callback: Callable[[Event], None] | None = None, *,
@@ -150,7 +192,7 @@ class EventScheduler:
         event = Event(time=time_s, kind=kind, seq=self._seq,
                       priority=priority, actor=actor,
                       payload=tuple(sorted(payload.items())))
-        handle = EventHandle(event)
+        handle = EventHandle(event, self)
         heapq.heappush(self._heap,
                        (time_s, priority, self._seq, handle, callback))
         self._seq += 1
@@ -164,6 +206,17 @@ class EventScheduler:
         """
         handle = ProcessHandle(name)
 
+        def fail(error: BaseException) -> None:
+            # The resume event just dispatched, so its handle is spent:
+            # leaving it on the process would let a later cancel() poke
+            # a dead event.  Journal the failure before the exception
+            # unwinds run(), so the trace shows *which* process died.
+            handle._alive = False
+            handle._pending = None
+            if self.journal is not None:
+                self.journal.record(self._now, "process-error", name,
+                                    error=f"{type(error).__name__}: {error}")
+
         def resume(_event: Event) -> None:
             if not handle._alive:
                 return
@@ -173,9 +226,14 @@ class EventScheduler:
                 handle._alive = False
                 handle._pending = None
                 return
+            except Exception as error:
+                fail(error)
+                raise
             if delay < 0:
-                handle._alive = False
-                raise ValueError(f"process {name!r} yielded a negative delay")
+                error = ValueError(
+                    f"process {name!r} yielded a negative delay ({delay})")
+                fail(error)
+                raise error
             handle._pending = self.schedule(delay, f"resume:{name}", resume,
                                             priority=priority, actor=name)
 
@@ -187,7 +245,9 @@ class EventScheduler:
         """Dispatch the single next non-cancelled event, if any."""
         while self._heap:
             time_s, _priority, _seq, handle, callback = heapq.heappop(self._heap)
+            handle._scheduler = None
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = time_s
             event = handle.event

@@ -27,11 +27,13 @@ GRIDS: tuple[tuple[int, int], ...] = ((1, 1), (1, 2), (2, 2), (2, 3), (3, 3))
 
 
 def _run_point(point: tuple) -> dict[str, float]:
-    """Metrics of one (config, rows, cols, nodes, duration, seed) run."""
-    config, rows, cols, n_nodes, duration_s, seed = point
+    """Metrics of one (config, rows, cols, nodes, duration, seed, regions)
+    run."""
+    config, rows, cols, n_nodes, duration_s, seed, regions = point
     simulation = default_network(
         config, rows=rows, cols=cols, n_nodes=n_nodes,
-        profile=BlindRampAmbient(duration_s=duration_s), seed=seed)
+        profile=BlindRampAmbient(duration_s=duration_s), seed=seed,
+        regions=min(regions, rows * cols))
     result = simulation.run(duration_s)
     metrics = result.metrics()
     metrics["cells"] = float(rows * cols)
@@ -44,10 +46,16 @@ def _run_point(point: tuple) -> dict[str, float]:
 def run(config: SystemConfig | None = None,
         grids: tuple[tuple[int, int], ...] = GRIDS,
         n_nodes: int = 6, duration_s: float = 40.0, seed: int = 2017,
-        jobs: int | None = None) -> FigureResult:
-    """Aggregate goodput, handovers and adaptation over grid sizes."""
+        regions: int = 1, jobs: int | None = None) -> FigureResult:
+    """Aggregate goodput, handovers and adaptation over grid sizes.
+
+    ``regions > 1`` runs each grid point on the sharded kernel (capped
+    at the grid's cell count) — the fleet-scale path for big sweeps.
+    """
     config = config if config is not None else SystemConfig()
-    points = [(config, rows, cols, n_nodes, duration_s, seed + i)
+    if regions < 1:
+        raise ValueError("regions must be positive")
+    points = [(config, rows, cols, n_nodes, duration_s, seed + i, regions)
               for i, (rows, cols) in enumerate(grids)]
     metrics = SweepRunner(jobs).map(_run_point, points)
 

@@ -34,6 +34,8 @@ from .room import (
     RoomSample,
     RoomSimulation,
 )
+from .sharded import merge_journals
+from .spatial import LuminaireIndex
 
 __all__ = [
     "Aggregation",
@@ -45,6 +47,7 @@ __all__ = [
     "Interferer",
     "LinearTrace",
     "Luminaire",
+    "LuminaireIndex",
     "MobileNode",
     "MobilityModel",
     "MulticellResult",
@@ -60,6 +63,7 @@ __all__ = [
     "effective_slot_errors",
     "interference_sigma",
     "luminaire_grid",
+    "merge_journals",
     "sinr",
     "strongest_cell",
 ]

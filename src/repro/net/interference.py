@@ -51,16 +51,26 @@ def interference_sigma(channel: VlcChannel,
 
 def effective_slot_errors(channel: VlcChannel, geometry: LinkGeometry,
                           ambient: float,
-                          interferers: Sequence[Interferer] = ()
-                          ) -> SlotErrorModel:
+                          interferers: Sequence[Interferer] = (),
+                          extra_variance: float = 0.0) -> SlotErrorModel:
     """Slot error model of a link including co-channel interference.
 
     With no interferers this is exactly
     :meth:`~repro.phy.channel.VlcChannel.slot_error_model`; the single-
     luminaire :class:`~repro.net.room.RoomSimulation` and the
     multi-cell network therefore share one link-evaluation path.
+
+    ``extra_variance`` (amps²) folds in interference that was computed
+    elsewhere — the sharded fleet kernel batches far-away luminaires
+    through the vectorized engine and passes their summed variance
+    here.  At the default ``0.0`` the arithmetic (and therefore every
+    journal digest) is bit-identical to the two-argument form.
     """
+    if extra_variance < 0.0:
+        raise ValueError("extra_variance must be non-negative")
     extra = interference_sigma(channel, interferers) if interferers else 0.0
+    if extra_variance > 0.0:
+        extra = math.sqrt(extra ** 2 + extra_variance)
     return channel.slot_error_model(geometry, ambient, extra_noise_a=extra)
 
 

@@ -39,6 +39,25 @@ class MobilityModel(ABC):
         x1, y1 = self.position(t + dt)
         return math.hypot(x1 - x0, y1 - y0) / (dt + min(t, dt))
 
+    def forget_before(self, t: float) -> None:
+        """Promise that ``position`` will never be asked about times
+        before ``t`` again, letting stateful models release history.
+
+        A no-op for memoryless models; long-running simulations should
+        call it with their low-water mark (e.g. the last completed
+        tick) so day-length runs don't accumulate unbounded trace
+        state.
+        """
+
+    def reset(self) -> None:
+        """Rewind the trace to ``t = 0``, undoing :meth:`forget_before`.
+
+        A no-op for memoryless models.  Deterministic models rebuild
+        from their seed, so a reset trace replays identically — this is
+        what lets one simulation instance run twice and journal
+        bit-identically even though runs trim history as they go.
+        """
+
 
 @dataclass(frozen=True)
 class StaticPosition(MobilityModel):
@@ -104,6 +123,10 @@ class RandomWaypoint(MobilityModel):
             raise ValueError("need 0 < speed_min_mps <= speed_max_mps")
         if self.pause_s < 0:
             raise ValueError("pause_s must be non-negative")
+        self.reset()
+
+    def reset(self) -> None:
+        """Rebuild the trace from the seed (pure, so replays match)."""
         self._rng = np.random.default_rng(self.seed)
         x0 = float(self._rng.uniform(0.0, self.width_m))
         y0 = float(self._rng.uniform(0.0, self.depth_m))
@@ -112,6 +135,7 @@ class RandomWaypoint(MobilityModel):
                                tuple[float, float], tuple[float, float]]] = []
         self._frontier_t = 0.0
         self._frontier_pos = (x0, y0)
+        self._low_water = 0.0
 
     def _extend_to(self, t: float) -> None:
         """Generate legs (in deterministic order) until ``t`` is covered."""
@@ -127,9 +151,31 @@ class RandomWaypoint(MobilityModel):
             self._frontier_t += walk + self.pause_s
             self._frontier_pos = (x1, y1)
 
+    def forget_before(self, t: float) -> None:
+        """Trim legs that end at or before the (monotone) low-water mark.
+
+        Only the generator's *consumption order* determines the trace,
+        so dropping already-finished legs cannot change any future
+        ``position`` result; the mark only forbids queries about the
+        discarded past.  The mark never moves backwards, which keeps
+        trimming idempotent and query-order independent.
+        """
+        self._low_water = max(self._low_water, t)
+        keep = 0
+        while keep < len(self._legs):
+            t_start, walk, pause, _, _ = self._legs[keep]
+            if t_start + walk + pause > self._low_water:
+                break
+            keep += 1
+        if keep:
+            del self._legs[:keep]
+
     def position(self, t: float) -> tuple[float, float]:
         """The waypoint-interpolated position at time ``t``."""
         t = max(t, 0.0)
+        if t < self._low_water:
+            raise ValueError(
+                f"position({t}) predates forget_before({self._low_water})")
         self._extend_to(t)
         # Binary search would be O(log n); traces are short enough that
         # a reverse linear scan from the frontier is simpler and the

@@ -48,6 +48,7 @@ from ..sim.linkmodel import expected_goodput
 from .feedback import Aggregation, AmbientReport, FeedbackCollector
 from .interference import Interferer, effective_slot_errors
 from .mobility import MobilityModel, RandomWaypoint, StaticPosition
+from .spatial import LuminaireIndex
 
 
 @dataclass(frozen=True)
@@ -162,12 +163,18 @@ class CellReport:
 
 @dataclass(frozen=True)
 class MulticellResult:
-    """Aggregate metrics plus the full event journal of one run."""
+    """Aggregate metrics plus the full event journal of one run.
+
+    ``journal`` is always the single, globally ordered trace; for a
+    sharded run (``regions > 1``) it is the deterministic merge of the
+    per-region ``shards``, which are also kept for inspection.
+    """
 
     duration_s: float
     nodes: tuple[NodeReport, ...]
     cells: tuple[CellReport, ...]
     journal: EventJournal
+    shards: tuple[EventJournal, ...] = ()
 
     @property
     def aggregate_throughput_bps(self) -> float:
@@ -225,6 +232,28 @@ class _CellState:
         return self.luminaire.name
 
 
+@dataclass(frozen=True)
+class _TickSample:
+    """Everything position-dependent a node needs within one tick.
+
+    Computed once per (node, tick) and shared by the sense and link
+    loops — historically each recomputed the position, the zone scan
+    and the local ambient independently.  All members are pure
+    functions of ``(node, t)``: faults (which are not) dispatch at
+    priority −1, strictly before any loop at the same instant, so
+    nothing here can go stale within a tick.
+    """
+
+    position: tuple[float, float]
+    zone: str
+    ambient: float
+    #: luminaires inside the cull radius, in original tuple order
+    nearby: tuple
+    offsets: dict[str, float]
+    geometry: dict[str, LinkGeometry]
+    gains: dict[str, float]
+
+
 @dataclass
 class _NodeState:
     """Runtime state of one mobile receiver."""
@@ -236,6 +265,46 @@ class _NodeState:
     goodput_sum_bps: float = 0.0
     samples: int = 0
     down_samples: int = 0
+    tick_t: float | None = None
+    sample: _TickSample | None = None
+
+
+class _LocalView:
+    """What the per-node loops see of their (sub-)kernel.
+
+    The unsharded simulator runs every loop against one of these; the
+    sharded engine subclasses it per region to route remote serving
+    cells, cross-region reports, and far interference through the
+    round-edge exchange (:mod:`repro.net.sharded`).  Keeping the loop
+    bodies identical across both is what makes the ``regions == 1``
+    digest-parity guarantee checkable rather than aspirational.
+    """
+
+    __slots__ = ("scheduler", "journal", "rng", "cells")
+
+    def __init__(self, scheduler: EventScheduler, journal: EventJournal,
+                 rng: np.random.Generator, cells: dict[str, _CellState]):
+        self.scheduler = scheduler
+        self.journal = journal
+        self.rng = rng
+        self.cells = cells
+
+    @property
+    def now(self) -> float:
+        """The kernel clock."""
+        return self.scheduler.now
+
+    def serving_state(self, name: str):
+        """Led/design state of a serving cell (always local here)."""
+        return self.cells[name]
+
+    def submit(self, name: str, report: AmbientReport) -> None:
+        """Send an ambient report to a cell's feedback plane."""
+        self.cells[name].plane.submit(report, self.rng)
+
+    def remote_variance(self, serving: str, sample: "_TickSample") -> float:
+        """Interference variance from cells outside this view (amps²)."""
+        return 0.0
 
 
 @dataclass
@@ -265,6 +334,16 @@ class MulticellSimulation:
     staleness_s: float = 5.0
     faults: FaultPlan = field(default_factory=FaultPlan)
     seed: int = 13
+    #: number of spatial sub-kernels; 1 = the classic single kernel
+    regions: int = 1
+    #: synchronization window of a sharded run (defaults to ``tick_s``)
+    lookahead_s: float | None = None
+    #: cull luminaires whose gain falls below this (0 = exact FoV cull)
+    gain_floor: float = 0.0
+    #: False preserves the pre-index all-pairs evaluation (the
+    #: benchmark baseline); journals are bit-identical either way at
+    #: ``gain_floor == 0``.
+    use_spatial_index: bool = True
 
     def __post_init__(self) -> None:
         if not self.luminaires:
@@ -283,12 +362,25 @@ class MulticellSimulation:
             raise ValueError("tick_s must be positive")
         if self.hysteresis_db < 0:
             raise ValueError("hysteresis_db must be non-negative")
+        if self.regions < 1:
+            raise ValueError("regions must be positive")
+        if self.regions > len(self.luminaires):
+            raise ValueError("cannot have more regions than luminaires")
+        if self.regions > 1 and not self.use_spatial_index:
+            raise ValueError("sharded runs require the spatial index")
+        if self.lookahead_s is not None and self.lookahead_s <= 0:
+            raise ValueError("lookahead_s must be positive")
+        if self.gain_floor < 0:
+            raise ValueError("gain_floor must be non-negative")
         if self.channel is None:
             self.channel = calibrated_channel(self.config)
         known = {node.name for node in self.nodes}
         for name, _start, _end in self.faults.node_downtime:
             if name not in known:
                 raise ValueError(f"downtime names unknown node {name!r}")
+        self._index = (LuminaireIndex(self.luminaires, self.drop_m,
+                                      self.channel.optics, self.gain_floor)
+                       if self.use_spatial_index else None)
 
     # -- geometry helpers (shared with RoomSimulation) ------------------
 
@@ -300,7 +392,19 @@ class MulticellSimulation:
         return LinkGeometry.from_offsets(horizontal, self.drop_m)
 
     def gains_at(self, position: tuple[float, float]) -> dict[str, float]:
-        """Per-cell Lambertian channel gain at a floor position."""
+        """Per-cell Lambertian channel gain at a floor position.
+
+        With the spatial index active, only luminaires inside the cull
+        radius appear; everything omitted has gain exactly ``0.0``
+        (when ``gain_floor == 0``), so consumers that filter positive
+        gains — association does — see identical results either way.
+        """
+        if self._index is not None:
+            return {
+                lum.name: self.channel.optics.channel_gain(
+                    self.geometry_to(lum, position))
+                for lum in self._index.within(position)
+            }
         return {
             lum.name: self.channel.optics.channel_gain(
                 self.geometry_to(lum, position))
@@ -309,6 +413,8 @@ class MulticellSimulation:
 
     def zone_of(self, position: tuple[float, float]) -> str:
         """The ambient zone (nearest luminaire) of a floor position."""
+        if self._index is not None:
+            return self._index.nearest(position).name
         return min(
             self.luminaires,
             key=lambda lum: (math.hypot(position[0] - lum.x_m,
@@ -318,18 +424,81 @@ class MulticellSimulation:
     # -- the run --------------------------------------------------------
 
     def run(self, duration_s: float) -> MulticellResult:
-        """Simulate ``duration_s`` seconds and aggregate the outcome."""
+        """Simulate ``duration_s`` seconds and aggregate the outcome.
+
+        With ``regions > 1`` the network executes as spatially sharded
+        sub-kernels synchronized in conservative-lookahead rounds (see
+        :mod:`repro.net.sharded`); at ``regions == 1`` the single
+        kernel below runs everything, and a sharded run degenerates to
+        a bit-identical journal.
+        """
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        if self.regions > 1:
+            from .sharded import run_sharded
+            return run_sharded(self, duration_s)
+        for node in self.nodes:
+            node.mobility.reset()
         journal = EventJournal()
         scheduler = EventScheduler()
         rng = np.random.default_rng(self.seed)
 
+        cells = self._build_cells(scheduler, journal)
+        states = {node.name: _NodeState(node=node) for node in self.nodes}
+
+        self._schedule_faults(scheduler, journal, cells, states)
+        if self._index is not None:
+            view = _LocalView(scheduler, journal, rng, cells)
+            for node in self.nodes:
+                scheduler.spawn(
+                    self._sense_loop_indexed(view, states[node.name]),
+                    name=f"sense:{node.name}", priority=0)
+        else:
+            for node in self.nodes:
+                scheduler.spawn(self._sense_loop(scheduler, journal, rng,
+                                                 cells, states[node.name]),
+                                name=f"sense:{node.name}", priority=0)
+        for cell in cells.values():
+            scheduler.spawn(self._control_loop(scheduler, journal, cell),
+                            name=f"control:{cell.name}", priority=1)
+        if self._index is not None:
+            for node in self.nodes:
+                scheduler.spawn(
+                    self._link_loop_indexed(view, states[node.name]),
+                    name=f"link:{node.name}", priority=2)
+        else:
+            for node in self.nodes:
+                scheduler.spawn(self._link_loop(scheduler, journal,
+                                                cells, states[node.name]),
+                                name=f"link:{node.name}", priority=2)
+
+        scheduler.run(until_s=duration_s + 1e-9)
+        return self._collect(duration_s, states, cells, journal)
+
+    def _build_cells(self, scheduler: EventScheduler, journal: EventJournal,
+                     names: set[str] | None = None) -> dict[str, _CellState]:
+        """Per-cell runtime state, in luminaire order.
+
+        ``names`` restricts to a region's cells (sharded runs).  On
+        the indexed path all controllers :meth:`~AmppmDesigner.fork`
+        one template :class:`AmppmDesigner`: candidate filtering and
+        envelope construction are pure functions of the config, so
+        sharing them removes the dominant O(cells) setup cost of large
+        fleets, while the per-fork design memo keeps every cell
+        bit-identical to one with a fully independent designer.  The
+        all-pairs path keeps per-cell construction, matching the
+        historical cost profile it exists to benchmark.
+        """
+        template = AmppmDesigner(self.config) if self._index is not None \
+            else None
         cells: dict[str, _CellState] = {}
         for lum in self.luminaires:
+            if names is not None and lum.name not in names:
+                continue
             controller = SmartLightingController(
                 target_sum=self.target_sum, config=self.config,
-                designer=AmppmDesigner(self.config))
+                designer=(template.fork() if template is not None
+                          else AmppmDesigner(self.config)))
             collector = FeedbackCollector(
                 uplink=self.uplink, aggregation=self.aggregation,
                 staleness_s=self.staleness_s)
@@ -337,23 +506,12 @@ class MulticellSimulation:
                 luminaire=lum, controller=controller,
                 plane=DesFeedbackPlane(scheduler, journal, collector),
                 led=controller.led_intensity)
-        states = {node.name: _NodeState(node=node) for node in self.nodes}
+        return cells
 
-        self._schedule_faults(scheduler, journal, cells, states)
-        for node in self.nodes:
-            scheduler.spawn(self._sense_loop(scheduler, journal, rng,
-                                             cells, states[node.name]),
-                            name=f"sense:{node.name}", priority=0)
-        for cell in cells.values():
-            scheduler.spawn(self._control_loop(scheduler, journal, cell),
-                            name=f"control:{cell.name}", priority=1)
-        for node in self.nodes:
-            scheduler.spawn(self._link_loop(scheduler, journal,
-                                            cells, states[node.name]),
-                            name=f"link:{node.name}", priority=2)
-
-        scheduler.run(until_s=duration_s + 1e-9)
-
+    def _collect(self, duration_s: float, states: dict[str, _NodeState],
+                 cells: dict[str, _CellState], journal: EventJournal,
+                 shards: tuple[EventJournal, ...] = ()) -> MulticellResult:
+        """Fold runtime state into the immutable result."""
         node_reports = tuple(
             NodeReport(
                 name=name,
@@ -375,21 +533,27 @@ class MulticellSimulation:
             for name, cell in cells.items()
         )
         return MulticellResult(duration_s=duration_s, nodes=node_reports,
-                               cells=cell_reports, journal=journal)
+                               cells=cell_reports, journal=journal,
+                               shards=shards)
 
     # -- processes ------------------------------------------------------
 
     def _schedule_faults(self, scheduler: EventScheduler,
                          journal: EventJournal,
                          cells: dict[str, _CellState],
-                         states: dict[str, _NodeState]) -> None:
+                         states: dict[str, _NodeState],
+                         plan: FaultPlan | None = None,
+                         on_outage=None) -> None:
         """Turn the fault plan into down/up and outage events.
 
         Installation is delegated to the shared
         :func:`~repro.resilience.faults.schedule_plan_events`, which
         preserves the historical event order, priorities, and kinds —
         same-seed runs journal bit-identically to the pre-refactor
-        simulator.
+        simulator.  Sharded runs pass a ``plan`` filtered to the
+        region's own nodes (outage windows are global and install in
+        every region) plus an ``on_outage`` hook so the region can
+        track the uplink state for its cross-region outbox.
         """
 
         def on_node_change(name: str, down: bool) -> None:
@@ -404,11 +568,14 @@ class MulticellSimulation:
         def on_uplink_change(active: bool) -> None:
             for cell in cells.values():
                 cell.plane.outage = active
+            if on_outage is not None:
+                on_outage(active)
             journal.record(scheduler.now,
                            "uplink-outage" if active
                            else "uplink-restored")
 
-        schedule_plan_events(self.faults, scheduler,
+        schedule_plan_events(plan if plan is not None else self.faults,
+                             scheduler,
                              on_node_change=on_node_change,
                              on_uplink_change=on_uplink_change)
 
@@ -417,6 +584,122 @@ class MulticellSimulation:
         """Daylight at a node: zone profile scaled by its window gain."""
         level = self.ambient.level(t, self.zone_of(position))
         return min(max(level * node.daylight_gain, 0.0), 1.0)
+
+    def _sensed_state(self, now: float, state: _NodeState) -> _TickSample:
+        """The node's per-tick sample, computed once per (node, tick).
+
+        The sense loop (priority 0) populates it; the link loop
+        (priority 2) at the same instant reuses it, eliminating the
+        duplicate position/zone/ambient/geometry evaluation the two
+        loops historically performed per tick.
+        """
+        if state.tick_t == now and state.sample is not None:
+            return state.sample
+        position = state.node.mobility.position(now)
+        nearby = tuple(self._index.within(position))
+        offsets = {
+            lum.name: math.hypot(position[0] - lum.x_m,
+                                 position[1] - lum.y_m)
+            for lum in nearby
+        }
+        geometry = {
+            name: LinkGeometry.from_offsets(offset, self.drop_m)
+            for name, offset in offsets.items()
+        }
+        gains = {
+            name: self.channel.optics.channel_gain(geom)
+            for name, geom in geometry.items()
+        }
+        zone = self._index.nearest(position).name
+        level = self.ambient.level(now, zone)
+        ambient = min(max(level * state.node.daylight_gain, 0.0), 1.0)
+        sample = _TickSample(position=position, zone=zone, ambient=ambient,
+                            nearby=nearby, offsets=offsets,
+                            geometry=geometry, gains=gains)
+        state.tick_t = now
+        state.sample = sample
+        return sample
+
+    def _sense_loop_indexed(self, view: "_LocalView", state: _NodeState):
+        """Index-backed :meth:`_sense_loop`: same journal, one sample.
+
+        Journals the exact entries of the all-pairs loop — the culled
+        luminaires have gain exactly 0.0 and never influence
+        association — while touching only the 3×3 bucket neighbourhood
+        and trimming the mobility trace behind the clock.
+        """
+        while True:
+            now = view.now
+            if not state.down:
+                sample = self._sensed_state(now, state)
+                state.node.mobility.forget_before(now)
+                target = strongest_cell(sample.gains, state.serving,
+                                        self.hysteresis_db)
+                if target != state.serving:
+                    if state.serving is None:
+                        view.journal.record(now, "associate",
+                                            state.node.name, cell=target)
+                    elif target is None:
+                        view.journal.record(now, "coverage-lost",
+                                            state.node.name)
+                    else:
+                        state.handovers += 1
+                        view.journal.record(now, "handover", state.node.name,
+                                            source=state.serving,
+                                            target=target)
+                    state.serving = target
+                view.journal.record(now, "sense", state.node.name,
+                                    ambient=sample.ambient,
+                                    x=sample.position[0],
+                                    y=sample.position[1])
+                if state.serving is not None:
+                    view.submit(state.serving,
+                                AmbientReport(state.node.name, sample.ambient,
+                                              sensed_at=now))
+            yield self.tick_s
+
+    def _link_loop_indexed(self, view: "_LocalView", state: _NodeState):
+        """Index-backed :meth:`_link_loop`: culled, cached, shard-aware.
+
+        Interferers beyond the cull radius contribute exactly ``0.0``
+        variance, and surviving ones are visited in original luminaire
+        order, so the accumulated float sums — and hence the journal —
+        are bit-identical to the all-pairs loop.  In a sharded run the
+        remote (other-region) interferers arrive pre-summed as a
+        variance through the view instead.
+        """
+        while True:
+            now = view.now
+            state.samples += 1
+            if state.down:
+                state.down_samples += 1
+                view.journal.record(now, "link-down", state.node.name)
+            else:
+                sample = self._sensed_state(now, state)
+                goodput = 0.0
+                if state.serving is not None:
+                    serving = view.serving_state(state.serving)
+                    if serving.design is not None:
+                        geometry = sample.geometry[state.serving]
+                        interferers = [
+                            Interferer(sample.geometry[lum.name],
+                                       view.cells[lum.name].led)
+                            for lum in sample.nearby
+                            if lum.name != state.serving
+                            and lum.name in view.cells
+                        ]
+                        errors = effective_slot_errors(
+                            self.channel, geometry, sample.ambient,
+                            interferers,
+                            extra_variance=view.remote_variance(
+                                state.serving, sample))
+                        goodput = expected_goodput(serving.design, errors,
+                                                   self.config)
+                state.goodput_sum_bps += goodput
+                view.journal.record(now, "link", state.node.name,
+                                    cell=state.serving or "",
+                                    goodput_bps=goodput)
+            yield self.tick_s
 
     def _sense_loop(self, scheduler, journal, rng, cells, state):
         """Per-node process: move, (re)associate, sense, report."""

@@ -31,6 +31,7 @@ from .bench import (
     RegressionPolicy,
     append_history,
     detect_regressions,
+    deterministic_timer,
     group_by_name,
     last_run,
     load_history,
@@ -98,6 +99,7 @@ __all__ = [
     "chrome_trace",
     "config_digest",
     "detect_regressions",
+    "deterministic_timer",
     "enabled",
     "group_by_name",
     "last_run",

@@ -73,10 +73,15 @@ def bench_workloads(config: SystemConfig | None = None
         return default_network(config, rows=2, cols=2, n_nodes=3,
                                seed=29).run(5.0)
 
+    def des_fleet():
+        return default_network(config, rows=8, cols=8, n_nodes=32,
+                               seed=11, regions=4).run(2.0)
+
     return {
         "design.envelope": design_envelope,
         "codec.roundtrip": codec_roundtrip,
         "frame.encode": frame_encode,
         "batch.ser": batch_ser,
         "des.multicell": des_multicell,
+        "des.fleet": des_fleet,
     }

@@ -1,6 +1,11 @@
 """Simulation drivers: analytic link model, dynamic scenario, waveform path."""
 
-from .batch import BatchCodec, BatchMonteCarloValidator, corrupt_batch
+from .batch import (
+    BatchCodec,
+    BatchMonteCarloValidator,
+    corrupt_batch,
+    lambertian_gains,
+)
 from .dynamic import DynamicRunResult, DynamicScenario, DynamicTick
 from .endtoend import EndToEndLink, EndToEndReport
 from .export import (
@@ -52,6 +57,7 @@ __all__ = [
     "format_table",
     "frame_slot_count",
     "frame_success_probability",
+    "lambertian_gains",
     "result_to_json",
     "stop_and_wait_goodput",
     "write_figure_csv",

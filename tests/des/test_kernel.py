@@ -149,3 +149,115 @@ class TestProcesses:
 
         assert build() == build()
         assert build().digest() == build().digest()
+
+
+class TestHeapCompaction:
+    def test_pending_counts_live_events_only(self):
+        s = EventScheduler()
+        handles = [s.schedule(float(i + 1), "x") for i in range(10)]
+        assert s.pending == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert s.pending == 6
+
+    def test_compaction_drops_cancelled_heap_entries(self):
+        s = EventScheduler(compact_min_pending=8, compact_fraction=0.25)
+        handles = [s.schedule(float(i + 1), "x") for i in range(16)]
+        for handle in handles[:8]:
+            handle.cancel()
+        # The dead entries were physically removed, not just skipped.
+        assert len(s._heap) == s.pending == 8
+
+    def test_cancel_is_idempotent_in_the_count(self):
+        s = EventScheduler()
+        handle = s.schedule(1.0, "x")
+        s.schedule(2.0, "y")
+        handle.cancel()
+        handle.cancel()
+        assert s.pending == 1
+
+    def test_cancel_after_dispatch_keeps_the_count_honest(self):
+        s = EventScheduler()
+        first = s.schedule(1.0, "x")
+        later = s.schedule(2.0, "y")
+        s.step()
+        first.cancel()  # late cancel of an already-dispatched event
+        assert s.pending == 1
+        later.cancel()
+        assert s.pending == 0
+
+    def test_compaction_never_changes_dispatch_order_or_journal(self):
+        def build(compact_min: int):
+            journal = EventJournal()
+            s = EventScheduler(journal=journal,
+                               compact_min_pending=compact_min,
+                               compact_fraction=0.01)
+            fired = []
+            handles = [
+                s.schedule(float(i % 7), "tick",
+                           lambda e: fired.append(e.seq), actor=f"a{i:02d}")
+                for i in range(40)
+            ]
+            for handle in handles[1::2]:
+                handle.cancel()
+            s.run()
+            return fired, journal
+
+        aggressive_fired, aggressive_journal = build(2)
+        lazy_fired, lazy_journal = build(10**6)
+        assert aggressive_fired == lazy_fired
+        assert aggressive_journal.digest() == lazy_journal.digest()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventScheduler(compact_fraction=0.0)
+        with pytest.raises(ValueError):
+            EventScheduler(compact_min_pending=0)
+
+
+class TestProcessFailures:
+    def test_negative_delay_raises_with_the_process_name(self):
+        journal = EventJournal()
+        s = EventScheduler(journal=journal)
+
+        def proc():
+            yield 1.0
+            yield -0.5
+
+        handle = s.spawn(proc(), name="bad-timer")
+        with pytest.raises(ValueError, match="bad-timer"):
+            s.run()
+        assert not handle.alive
+        assert handle._pending is None
+        errors = [e for e in journal.entries if e.kind == "process-error"]
+        assert len(errors) == 1
+        assert errors[0].actor == "bad-timer"
+        assert "negative delay" in errors[0].get("error")
+
+    def test_process_exception_is_journaled_and_reraised(self):
+        journal = EventJournal()
+        s = EventScheduler(journal=journal)
+
+        def proc():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        handle = s.spawn(proc(), name="exploder")
+        with pytest.raises(RuntimeError, match="boom"):
+            s.run()
+        assert not handle.alive
+        assert handle._pending is None
+        errors = [e for e in journal.entries if e.kind == "process-error"]
+        assert [e.get("error") for e in errors] == ["RuntimeError: boom"]
+
+    def test_failed_process_ignores_late_cancel(self):
+        s = EventScheduler()
+
+        def proc():
+            yield -1.0
+
+        handle = s.spawn(proc(), name="doomed")
+        with pytest.raises(ValueError):
+            s.run()
+        handle.cancel()  # must not blow up on the cleared pending event
+        assert not handle.alive

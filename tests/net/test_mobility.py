@@ -85,3 +85,59 @@ class TestRandomWaypoint:
             RandomWaypoint(5.0, 5.0, speed_min_mps=2.0, speed_max_mps=1.0)
         with pytest.raises(ValueError):
             RandomWaypoint(5.0, 5.0, pause_s=-1.0)
+
+
+class TestForgetBefore:
+    def test_trimming_preserves_future_positions(self):
+        pristine = RandomWaypoint(6.0, 6.0, seed=7)
+        reference = [pristine.position(float(t)) for t in range(0, 300, 2)]
+        trimmed = RandomWaypoint(6.0, 6.0, seed=7)
+        got = []
+        for t in range(0, 300, 2):
+            got.append(trimmed.position(float(t)))
+            trimmed.forget_before(float(t))
+        assert got == reference
+
+    def test_legs_stay_bounded_on_long_monotone_runs(self):
+        walker = RandomWaypoint(4.0, 4.0, pause_s=0.5, seed=5)
+        peak = 0
+        for t in range(0, 5000, 1):
+            walker.position(float(t))
+            walker.forget_before(float(t))
+            peak = max(peak, len(walker._legs))
+        untrimmed = RandomWaypoint(4.0, 4.0, pause_s=0.5, seed=5)
+        untrimmed.position(5000.0)
+        # The trimmed trace holds a handful of live legs; the untrimmed
+        # one accumulates the whole history.
+        assert peak < 10
+        assert len(untrimmed._legs) > 10 * peak
+
+    def test_queries_behind_the_mark_raise(self):
+        walker = RandomWaypoint(5.0, 5.0, seed=9)
+        walker.position(50.0)
+        walker.forget_before(40.0)
+        with pytest.raises(ValueError, match="predates forget_before"):
+            walker.position(39.9)
+        # At or after the mark stays answerable.
+        walker.position(40.0)
+
+    def test_mark_is_monotone(self):
+        walker = RandomWaypoint(5.0, 5.0, seed=9)
+        walker.position(30.0)
+        walker.forget_before(20.0)
+        walker.forget_before(5.0)  # moving backwards is a no-op
+        with pytest.raises(ValueError):
+            walker.position(10.0)
+
+    def test_reset_rewinds_and_replays_identically(self):
+        walker = RandomWaypoint(6.0, 6.0, seed=13)
+        reference = [walker.position(float(t)) for t in range(0, 80)]
+        walker.forget_before(60.0)
+        walker.reset()
+        assert [walker.position(float(t)) for t in range(0, 80)] == reference
+
+    def test_base_model_hooks_are_noops(self):
+        desk = StaticPosition(1.0, 1.0)
+        desk.forget_before(100.0)
+        desk.reset()
+        assert desk.position(0.0) == (1.0, 1.0)

@@ -46,6 +46,16 @@ class TestStrongestCell:
         assert strongest_cell({"a": 1.0, "b": 1.7}, serving="a",
                               hysteresis_db=2.0) == "b"
 
+    def test_exact_hysteresis_boundary_stays_put(self):
+        # A challenger at *exactly* the hysteresis margin does not win:
+        # the comparison is strict, so flapping needs a real advantage.
+        margin = 10.0 ** (2.0 / 10.0)
+        assert strongest_cell({"a": 1.0, "b": margin}, serving="a",
+                              hysteresis_db=2.0) == "a"
+        nudged = margin * (1.0 + 1e-12)
+        assert strongest_cell({"a": 1.0, "b": nudged}, serving="a",
+                              hysteresis_db=2.0) == "b"
+
     def test_out_of_coverage_returns_none(self):
         assert strongest_cell({"a": 0.0}, serving="a") is None
         assert strongest_cell({}, serving=None) is None

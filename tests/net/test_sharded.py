@@ -1,0 +1,111 @@
+"""Sharded multicell kernel: degeneracy parity, determinism, faults."""
+
+import pytest
+
+from repro.des import journals_equal
+from repro.net import FaultPlan, default_network, merge_journals
+from repro.net.sharded import run_sharded
+
+
+def network(**kwargs):
+    return default_network(rows=2, cols=2, n_nodes=4, seed=29, **kwargs)
+
+
+def fleet(**kwargs):
+    return default_network(rows=4, cols=4, n_nodes=8, seed=7, **kwargs)
+
+
+class TestDegeneracy:
+    def test_regions_1_matches_unsharded_bit_for_bit(self):
+        unsharded = network().run(30.0)
+        sharded = run_sharded(network(), 30.0)
+        assert journals_equal(unsharded.journal, sharded.journal)
+        assert unsharded.journal.digest() == sharded.journal.digest()
+        assert unsharded.metrics() == sharded.metrics()
+        assert len(sharded.shards) == 1
+
+    def test_indexed_path_matches_the_all_pairs_baseline(self):
+        indexed = network().run(30.0)
+        allpairs = network(use_spatial_index=False).run(30.0)
+        assert journals_equal(indexed.journal, allpairs.journal)
+        assert indexed.metrics() == allpairs.metrics()
+
+    def test_parity_holds_under_a_time_varying_ambient(self):
+        # Regression guard: with a ramping ambient the per-cell dimming
+        # requests diverge, which is exactly where a designer whose
+        # memo were shared across cells would leak one cell's design
+        # into another's (the memo key quantizes the request).
+        from repro.lighting.ambient import BlindRampAmbient
+
+        kw = dict(profile=BlindRampAmbient(duration_s=30.0))
+        indexed = default_network(rows=2, cols=2, n_nodes=4, seed=2018,
+                                  **kw).run(30.0)
+        allpairs = default_network(rows=2, cols=2, n_nodes=4, seed=2018,
+                                   use_spatial_index=False, **kw).run(30.0)
+        assert indexed.journal.digest() == allpairs.journal.digest()
+        assert indexed.metrics() == allpairs.metrics()
+
+    def test_merge_of_a_single_shard_is_the_identity(self):
+        result = run_sharded(network(), 10.0)
+        merged = merge_journals(result.shards)
+        assert journals_equal(merged, result.journal)
+        assert merged.digest() == result.journal.digest()
+
+
+class TestShardedFleet:
+    def test_same_seed_same_journals_and_metrics(self):
+        first = fleet(regions=4).run(20.0)
+        second = fleet(regions=4).run(20.0)
+        assert journals_equal(first.journal, second.journal)
+        assert first.metrics() == second.metrics()
+        assert len(first.shards) == 4
+        assert sum(len(s) for s in first.shards) == len(first.journal)
+        for a, b in zip(first.shards, second.shards):
+            assert a.digest() == b.digest()
+
+    def test_aggregates_track_the_unsharded_run(self):
+        sharded = fleet(regions=4).run(20.0)
+        unsharded = fleet().run(20.0)
+        assert sharded.total_handovers == unsharded.total_handovers
+        sharded_m, unsharded_m = sharded.metrics(), unsharded.metrics()
+        assert (sharded_m["reports_delivered"]
+                == unsharded_m["reports_delivered"])
+        assert (sharded_m["reports_lost"] == unsharded_m["reports_lost"])
+        # Cross-region interference is folded in as a pre-summed
+        # variance instead of per-interferer terms, so goodput agrees
+        # closely but not bit-for-bit.
+        assert sharded_m["aggregate_throughput_bps"] == pytest.approx(
+            unsharded_m["aggregate_throughput_bps"], rel=1e-3)
+
+    def test_faults_propagate_into_regions(self):
+        faults = FaultPlan(node_downtime=(("node-00", 2.0, 6.0),),
+                           uplink_outages=((3.0, 5.0),))
+        sharded = fleet(regions=4, faults=faults).run(10.0)
+        unsharded = fleet(faults=faults).run(10.0)
+        sharded_m, unsharded_m = sharded.metrics(), unsharded.metrics()
+        assert sharded_m["reports_lost"] > 0
+        assert sharded_m["reports_lost"] == unsharded_m["reports_lost"]
+        down = [e for e in sharded.journal.entries
+                if e.kind == "sense" and e.actor == "node-00"
+                and 2.0 < e.time < 6.0]
+        assert down == []
+
+
+class TestValidation:
+    def test_regions_must_fit_the_grid(self):
+        with pytest.raises(ValueError):
+            network(regions=5)
+        with pytest.raises(ValueError):
+            network(regions=0)
+
+    def test_sharding_requires_the_spatial_index(self):
+        with pytest.raises(ValueError):
+            fleet(regions=2, use_spatial_index=False)
+
+    def test_sharding_requires_a_finite_cull_radius(self):
+        from repro.phy import OpticalFrontEnd, calibrated_channel
+
+        wide = calibrated_channel(optics=OpticalFrontEnd(rx_fov_deg=90.0))
+        sim = fleet(regions=2, channel=wide)
+        with pytest.raises(ValueError, match="FoV"):
+            sim.run(5.0)

@@ -200,6 +200,16 @@ class TestRegressionGate:
         current = [BenchRecord.from_samples("w", samples, run_id="r2")]
         assert detect_regressions(current, history) == []
 
+    def test_preempted_middle_samples_never_flag_when_the_min_holds(self):
+        # One-sided scheduler noise: the rerun's min sits on the floor
+        # but the other samples were preempted.  A median gate flags
+        # this (median 1.5 > threshold ~1.1); the min gate must not.
+        history = [BenchRecord.from_samples("w", [1.0, 1.01, 1.02],
+                                            run_id="r1")]
+        current = [BenchRecord.from_samples("w", [1.0, 1.5, 1.8],
+                                            run_id="r2")]
+        assert detect_regressions(current, history) == []
+
     def test_double_slowdown_flags_with_describe(self):
         history = [BenchRecord.from_samples("w", [1.0, 1.02, 1.05],
                                             run_id="r1")]

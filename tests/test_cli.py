@@ -328,16 +328,23 @@ class TestBench:
         assert "no regressions" in text
         assert history.exists()
 
-    def test_identical_reruns_never_flag(self, tmp_path):
+    def test_identical_reruns_never_flag(self, tmp_path, monkeypatch):
+        # The fake timer makes both runs byte-identical: this pins the
+        # run/record/gate plumbing, while the gate's tolerance to real
+        # timing noise is covered by the unit and property tests in
+        # tests/obs/test_bench.py.
+        monkeypatch.setenv("REPRO_BENCH_TIMER", "fake")
         history = tmp_path / "hist.jsonl"
         assert self._run(history)[0] == 0
         code, text, _ = self._run(history)
         assert code == 0
         assert "no regressions" in text
 
-    def test_synthetic_slowdown_is_flagged_but_not_recorded(self, tmp_path):
+    def test_synthetic_slowdown_is_flagged_but_not_recorded(
+            self, tmp_path, monkeypatch):
         from repro.obs.bench import load_history
 
+        monkeypatch.setenv("REPRO_BENCH_TIMER", "fake")
         history = tmp_path / "hist.jsonl"
         assert self._run(history)[0] == 0
         before = len(load_history(history))
@@ -346,6 +353,12 @@ class TestBench:
         assert f"REGRESSION {self.WORKLOAD}:" in text
         assert "not recorded" in text
         assert len(load_history(history)) == before
+
+    def test_unknown_timer_mode_exits_2(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TIMER", "sundial")
+        code, text, err = self._run(tmp_path / "hist.jsonl")
+        assert code == 2
+        assert "REPRO_BENCH_TIMER" in err
 
     def test_unknown_workload_lists_known(self, tmp_path):
         code, text, err = run_cli("bench", "run", "nope",
