@@ -176,6 +176,44 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--unsupervised", action="store_true",
                            help="run the no-supervision baseline instead")
 
+    serve_cmd = sub.add_parser(
+        "serve", help="run the always-on adaptation control plane")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="TCP port (default 0: ephemeral)")
+    serve_cmd.add_argument("--coalesce-window", type=float, default=2.0,
+                           metavar="MS",
+                           help="adapt coalescing window in milliseconds; "
+                                "0 disables batching (default 2.0)")
+    serve_cmd.add_argument("--max-connections", type=int, default=1024,
+                           metavar="N",
+                           help="connection cap (default 1024)")
+    serve_cmd.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                           help="per-connection in-flight adapt cap "
+                                "(default 64)")
+    serve_cmd.add_argument("--max-inflight", type=int, default=4096,
+                           metavar="N",
+                           help="global in-flight adapt cap (default 4096)")
+    serve_cmd.add_argument("--drain-grace", type=float, default=5.0,
+                           metavar="S",
+                           help="seconds to let in-flight work finish on "
+                                "SIGTERM (default 5)")
+    serve_cmd.add_argument("--load", action="store_true",
+                           help="run the seeded synthetic client fleet "
+                                "against the daemon, print its report and "
+                                "exit (nonzero if any connection dropped)")
+    serve_cmd.add_argument("--clients", type=int, default=50, metavar="N",
+                           help="fleet size for --load (default 50)")
+    serve_cmd.add_argument("--requests", type=int, default=10, metavar="K",
+                           help="requests per client for --load (default 10)")
+    serve_cmd.add_argument("--seed", type=int, default=0,
+                           help="fleet seed for --load (default 0)")
+    serve_cmd.add_argument("--telemetry", metavar="FILE", default=None,
+                           help="dump the server's metrics as telemetry "
+                                "JSON lines into FILE at shutdown "
+                                "(render with repro stats)")
+
     stats_cmd = sub.add_parser(
         "stats", help="render a telemetry JSONL dump")
     stats_cmd.add_argument("file", metavar="FILE",
@@ -496,6 +534,63 @@ def _cmd_chaos(schedule: str, duration: float, seed: int, intensity: float,
     return 0
 
 
+def _cmd_serve(host: str, port: int, coalesce_window_ms: float,
+               max_connections: int, queue_limit: int, max_inflight: int,
+               drain_grace: float, load: bool, clients: int, requests: int,
+               seed: int, telemetry: str | None, out, err) -> int:
+    import asyncio
+
+    from .serve import ControlPlane, LoadProfile, ServeConfig, run_loadgen
+    from .serve.server import run_daemon
+
+    if coalesce_window_ms < 0:
+        return _fail(err, f"--coalesce-window cannot be negative, "
+                          f"got {coalesce_window_ms}")
+    try:
+        serve_config = ServeConfig(
+            host=host, port=port, max_connections=max_connections,
+            queue_limit=queue_limit, max_inflight=max_inflight,
+            coalesce_window_s=coalesce_window_ms * 1e-3,
+            drain_grace_s=drain_grace)
+        profile = (LoadProfile(clients=clients, requests_per_client=requests,
+                               seed=seed) if load else None)
+    except ValueError as exc:
+        return _fail(err, str(exc))
+
+    async def serve_and_load(registry) -> tuple[int, "ControlPlane"]:
+        plane = ControlPlane(serve_config, registry=registry)
+        await plane.start()
+        print(f"repro serve: listening on {plane.host}:{plane.port} "
+              f"(--load fleet: {profile.clients} clients x "
+              f"{profile.requests_per_client} requests)", file=out, flush=True)
+        try:
+            report = await run_loadgen(plane.host, plane.port, profile)
+        finally:
+            await plane.stop()
+        print(report.render(), file=out)
+        return (0 if report.dropped_connections == 0 else 1), plane
+
+    with telemetry_session() as session:
+        try:
+            if load:
+                code, plane = asyncio.run(serve_and_load(session.registry))
+            else:
+                plane = asyncio.run(run_daemon(
+                    serve_config, registry=session.registry, out=out))
+                code = 0
+        except OSError as exc:
+            return _fail(err, f"cannot serve on {host}:{port}: {exc}")
+        coalescer = plane.coalescer
+        print(f"serve: {coalescer.requests} adapt requests, "
+              f"{coalescer.designer_calls} designer calls "
+              f"(coalesce ratio {coalescer.coalesce_ratio:.2f}), "
+              f"{plane.shed_count} shed", file=out)
+    if telemetry is not None:
+        path = write_telemetry_jsonl(session, telemetry)
+        print(f"[telemetry] {path}", file=out)
+    return code
+
+
 def _cmd_stats(file: str, prometheus: bool, profile: bool, out, err) -> int:
     path = Path(file)
     if not path.is_file():
@@ -569,6 +664,12 @@ def main(argv: Sequence[str] | None = None, out=None, err=None) -> int:
     if args.command == "chaos":
         return _cmd_chaos(args.schedule, args.duration, args.seed,
                           args.intensity, args.unsupervised, out, err)
+    if args.command == "serve":
+        return _cmd_serve(args.host, args.port, args.coalesce_window,
+                          args.max_connections, args.queue_limit,
+                          args.max_inflight, args.drain_grace, args.load,
+                          args.clients, args.requests, args.seed,
+                          args.telemetry, out, err)
     if args.command == "stats":
         return _cmd_stats(args.file, args.prometheus, args.profile, out, err)
     if args.command == "info":

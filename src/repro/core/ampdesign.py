@@ -21,6 +21,7 @@ Section 4.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from .envelope import Envelope, slope_walk_envelope
 from .errormodel import SlotErrorModel
@@ -125,6 +126,18 @@ class AmppmDesigner:
         """Dimming levels the designer can serve without compensation."""
         return self._envelope.dimming_range
 
+    def memo_key(self, dimming: float) -> int:
+        """The memo bucket a dimming request quantizes to.
+
+        Two requests share a design exactly when their clamped dimming
+        levels round to the same multiple of the perceived resolution
+        ``tau_perceived`` — the same key :meth:`design` memoises under.
+        Exposed so batching layers (the serve coalescer) can dedupe
+        requests without re-deriving the quantization rule.
+        """
+        lo, hi = self.supported_range
+        return round(min(max(dimming, lo), hi) / self.config.tau_perceived)
+
     def design(self, dimming: float) -> AmppmDesign:
         """Best super-symbol for a required dimming level.
 
@@ -137,7 +150,7 @@ class AmppmDesigner:
             raise UnreachableDimmingError(dimming, lo, hi)
         dimming = min(max(dimming, lo), hi)
 
-        key = round(dimming / self.config.tau_perceived)
+        key = self.memo_key(dimming)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -161,6 +174,33 @@ class AmppmDesigner:
         design = AmppmDesign(dimming, super_symbol)
         self._cache[key] = design
         return design
+
+    def design_many(self, dimmings: Sequence[float]) -> list[AmppmDesign]:
+        """Designs for a batch of dimming levels, one core call per bucket.
+
+        The batched entry point of the serving path: requests are
+        deduped by :meth:`memo_key`, the designer core runs once per
+        *unique* bucket (memo hits are free), and the resulting designs
+        fan back out aligned with ``dimmings``.  Every request in a
+        bucket receives the *same* :class:`AmppmDesign` object, so the
+        fan-out is byte-identical by construction.  Raises
+        :class:`UnreachableDimmingError` on the first out-of-range
+        request, before any design is computed.
+        """
+        lo, hi = self.supported_range
+        for dimming in dimmings:
+            if not lo - 1e-9 <= dimming <= hi + 1e-9:
+                raise UnreachableDimmingError(dimming, lo, hi)
+        by_bucket: dict[int, AmppmDesign] = {}
+        out: list[AmppmDesign] = []
+        for dimming in dimmings:
+            key = self.memo_key(dimming)
+            design = by_bucket.get(key)
+            if design is None:
+                design = self.design(dimming)
+                by_bucket[key] = design
+            out.append(design)
+        return out
 
     def _compose_fallback(self, dimming: float) -> SuperSymbol:
         """Best-rate composition from non-envelope candidate pairs.

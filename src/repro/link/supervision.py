@@ -286,6 +286,32 @@ class LinkSupervisor:
         """Whether data transmission is currently suspended."""
         return self._state in (LinkState.DOWN, LinkState.PROBING)
 
+    def snapshot(self, backoff: BackoffPolicy | None = None) -> dict:
+        """The supervisor's externally visible state as a plain dict.
+
+        Everything a control-plane consumer needs without poking
+        internals: the current state, the ``cause`` of the most recent
+        transition (empty before the first one), the evidence streaks,
+        whether data is suspended, and — when a :class:`BackoffPolicy`
+        is supplied — ``backoff_remaining_s``, the ACK timeout the MAC
+        is currently waiting out given the failure streak.  The dict is
+        JSON-able, so the serve ``link`` endpoint returns it verbatim
+        and ``repro stats`` renders it from exported telemetry.
+        """
+        remaining = 0.0
+        if backoff is not None and self._fail_streak > 0:
+            remaining = backoff.timeout_for(self._fail_streak - 1)
+        return {
+            "state": self._state.value,
+            "cause": self.transitions[-1].reason if self.transitions else "",
+            "fail_streak": self._fail_streak,
+            "crc_streak": self._crc_streak,
+            "ok_streak": self._ok_streak,
+            "transitions": len(self.transitions),
+            "data_suspended": self.data_suspended,
+            "backoff_remaining_s": remaining,
+        }
+
     def time_in_state(self, state: LinkState, until_s: float,
                       since_s: float = 0.0) -> float:
         """Total seconds spent in ``state`` over ``[since_s, until_s]``."""

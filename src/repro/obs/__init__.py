@@ -38,6 +38,7 @@ from .bench import (
     regression_threshold,
 )
 from .export import (
+    PROMETHEUS_CONTENT_TYPE,
     read_telemetry_jsonl,
     render_prometheus,
     render_text,
@@ -84,6 +85,7 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NullRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "ProfileEntry",
     "ProfileSession",
     "Regression",

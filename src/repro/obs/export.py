@@ -29,6 +29,9 @@ from .spans import SpanRecord, span_tree
 
 _PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
 
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+"""The Content-Type of the text exposition format, for HTTP scrapers."""
+
 
 def _labels_dict(key) -> dict[str, str]:
     return {k: v for k, v in key}
@@ -133,8 +136,26 @@ def _prom_name(name: str) -> str:
     return _PROM_NAME.sub("_", name)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double quote and line feed are the three characters the
+    spec requires escaping inside quoted label values; anything else
+    (a path, an error message) passes through verbatim.
+    """
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_help(text: str) -> str:
+    """Escape HELP text (backslash and line feed, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    parts = [f'{_prom_name(k)}="{_prom_escape(v)}"'
+             for k, v in sorted(labels.items())]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -153,7 +174,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         metric = registry.get(name)
         prom = _prom_name(name)
         if metric.help:
-            lines.append(f"# HELP {prom} {metric.help}")
+            lines.append(f"# HELP {prom} {_prom_help(metric.help)}")
         if isinstance(metric, Counter):
             lines.append(f"# TYPE {prom} counter")
             for key, value in sorted(metric.series().items()):

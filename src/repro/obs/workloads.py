@@ -77,6 +77,25 @@ def bench_workloads(config: SystemConfig | None = None
         return default_network(config, rows=8, cols=8, n_nodes=32,
                                seed=11, regions=4).run(2.0)
 
+    def serve_adapt():
+        import asyncio
+
+        from ..serve import ControlPlane, LoadProfile, ServeConfig, \
+            run_loadgen
+
+        async def fleet():
+            plane = ControlPlane(ServeConfig(coalesce_window_s=0.002),
+                                 config=config)
+            await plane.start()
+            try:
+                return await run_loadgen(
+                    plane.host, plane.port,
+                    LoadProfile(clients=16, requests_per_client=4, seed=3))
+            finally:
+                await plane.stop()
+
+        return asyncio.run(fleet())
+
     return {
         "design.envelope": design_envelope,
         "codec.roundtrip": codec_roundtrip,
@@ -84,4 +103,5 @@ def bench_workloads(config: SystemConfig | None = None
         "batch.ser": batch_ser,
         "des.multicell": des_multicell,
         "des.fleet": des_fleet,
+        "serve.adapt": serve_adapt,
     }

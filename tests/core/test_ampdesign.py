@@ -76,6 +76,56 @@ class TestDesign:
         assert designer.candidates
 
 
+class TestMemoKey:
+    def test_matches_the_memo_bucket(self, designer, config):
+        # Two requests share a design exactly when their keys agree.
+        a, b = 0.5, 0.5 + config.tau_perceived / 4
+        assert designer.memo_key(a) == designer.memo_key(b)
+        assert designer.design(a) is designer.design(b)
+
+    def test_distinct_buckets_get_distinct_designs(self, designer, config):
+        a = 0.5
+        b = 0.5 + 2 * config.tau_perceived
+        assert designer.memo_key(a) != designer.memo_key(b)
+
+    def test_clamps_like_design_clamped(self, designer):
+        lo, hi = designer.supported_range
+        assert designer.memo_key(-1.0) == designer.memo_key(lo)
+        assert designer.memo_key(2.0) == designer.memo_key(hi)
+
+
+class TestDesignMany:
+    def test_matches_individual_designs(self, designer):
+        levels = [0.2, 0.5, 0.2, 0.81, 0.5]
+        batch = designer.design_many(levels)
+        assert [d.target_dimming for d in batch] == \
+            [designer.design(lv).target_dimming for lv in levels]
+
+    def test_same_bucket_shares_the_same_object(self, config):
+        fork = AmppmDesigner(config).fork()
+        tau = config.tau_perceived
+        center = fork.memo_key(0.5) * tau    # an exact bucket center
+        batch = fork.design_many([center, center + tau / 4, 0.7,
+                                  center - tau / 4])
+        assert batch[0] is batch[1] is batch[3]
+        assert batch[2] is not batch[0]
+
+    def test_one_core_call_per_unique_bucket(self, designer):
+        fork = designer.fork()
+        levels = [0.3, 0.3, 0.6, 0.6, 0.6, 0.9]
+        fork.design_many(levels)
+        assert len(fork._cache) == len({fork.memo_key(lv) for lv in levels})
+
+    def test_rejects_out_of_range_before_designing(self, designer):
+        fork = designer.fork()
+        with pytest.raises(UnreachableDimmingError):
+            fork.design_many([0.5, 0.001])
+        assert not fork._cache
+
+    def test_empty_batch(self, designer):
+        assert designer.design_many([]) == []
+
+
 class TestConfigurationEffects:
     def test_too_noisy_channel_rejected(self):
         noisy = SlotErrorModel(0.4, 0.4)

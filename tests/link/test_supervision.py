@@ -300,3 +300,47 @@ class TestSupervisorBookkeeping:
         assert times == sorted(times)
         for tr in sup.transitions:
             assert tr.source is not tr.target
+
+
+class TestSnapshot:
+    def test_initial_snapshot(self):
+        snap = supervisor().snapshot()
+        assert snap == {"state": "up", "cause": "", "fail_streak": 0,
+                        "crc_streak": 0, "ok_streak": 0, "transitions": 0,
+                        "data_suspended": False, "backoff_remaining_s": 0.0}
+
+    def test_snapshot_tracks_evidence_and_cause(self):
+        sup = supervisor()
+        for i in range(3):
+            sup.on_failure(float(i), reason="crc")
+        snap = sup.snapshot()
+        assert snap["state"] == "degraded"
+        assert snap["cause"] == "crc"
+        assert snap["fail_streak"] == 3
+        assert snap["crc_streak"] == 3
+        assert snap["transitions"] == 1
+        assert snap["data_suspended"] is False
+
+    def test_backoff_remaining_follows_the_schedule(self):
+        sup = supervisor()
+        policy = BackoffPolicy(base_timeout_s=0.01, factor=2.0, cap_s=0.16)
+        assert sup.snapshot(policy)["backoff_remaining_s"] == 0.0
+        sup.on_failure(0.0)
+        assert sup.snapshot(policy)["backoff_remaining_s"] \
+            == pytest.approx(policy.timeout_for(0))
+        sup.on_failure(1.0)
+        assert sup.snapshot(policy)["backoff_remaining_s"] \
+            == pytest.approx(policy.timeout_for(1))
+        sup.on_success(2.0)
+        assert sup.snapshot(policy)["backoff_remaining_s"] == 0.0
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        sup = supervisor()
+        for i in range(9):
+            sup.on_failure(float(i), reason="crc")
+        sup.start_probing(9.0)
+        round_tripped = json.loads(json.dumps(sup.snapshot(BackoffPolicy())))
+        assert round_tripped["state"] == "probing"
+        assert round_tripped["data_suspended"] is True

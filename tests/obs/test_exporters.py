@@ -100,6 +100,38 @@ class TestPrometheus:
         assert render_prometheus(Telemetry().registry) == ""
 
 
+class TestPrometheusEscaping:
+    def test_label_values_escape_specials(self):
+        session = Telemetry()
+        session.registry.counter("repro_paths_total").inc(
+            1, path='C:\\tmp\n"quoted"')
+        text = render_prometheus(session.registry)
+        assert ('repro_paths_total{path="C:\\\\tmp\\n\\"quoted\\""} 1'
+                in text)
+        # Exactly one physical line carries the series: the newline in
+        # the label value must not split the exposition.
+        (line,) = [ln for ln in text.splitlines()
+                   if ln.startswith("repro_paths_total{")]
+        assert line.endswith(" 1")
+
+    def test_help_escapes_backslash_and_newline(self):
+        session = Telemetry()
+        session.registry.counter("repro_x_total",
+                                 help="first\nsecond \\ third").inc(1)
+        text = render_prometheus(session.registry)
+        assert "# HELP repro_x_total first\\nsecond \\\\ third" in text
+        assert "\nsecond" not in text
+
+    def test_plain_values_stay_untouched(self):
+        text = render_prometheus(_session().registry)
+        assert 'repro_symbols_total{scheme="amppm"} 100' in text
+
+    def test_content_type_constant(self):
+        from repro.obs import PROMETHEUS_CONTENT_TYPE
+        assert PROMETHEUS_CONTENT_TYPE == \
+            "text/plain; version=0.0.4; charset=utf-8"
+
+
 class TestRenderText:
     def test_header_and_sections(self):
         text = render_text(_session())

@@ -1,0 +1,13 @@
+"""Serve fixtures: one shared engine (designer tables are expensive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdaptEngine
+
+
+@pytest.fixture(scope="session")
+def engine(config, designer) -> AdaptEngine:
+    """An engine over the session designer's tables (fresh memo)."""
+    return AdaptEngine(config, designer.fork())

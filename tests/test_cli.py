@@ -240,6 +240,57 @@ class TestChaos:
         assert "--intensity" in err
 
 
+class TestServe:
+    def test_load_mode_runs_a_fleet_and_reports(self):
+        code, text, err = run_cli("serve", "--load", "--clients", "12",
+                                  "--requests", "3", "--seed", "5")
+        assert code == 0
+        assert err == ""
+        assert "listening on 127.0.0.1:" in text
+        assert "12 sent" not in text          # totals, not per-client
+        assert "36 sent, 36 ok, 0 shed, 0 errors, 0 dropped" in text
+        assert "coalesce ratio" in text
+
+    def test_load_mode_writes_telemetry(self, tmp_path):
+        target = tmp_path / "serve.jsonl"
+        code, text, _ = run_cli("serve", "--load", "--clients", "4",
+                                "--requests", "2",
+                                "--telemetry", str(target))
+        assert code == 0
+        assert "[telemetry]" in text
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert any(r.get("name") == "repro_serve_adapt_requests_total"
+                   for r in rows)
+        # And repro stats renders the dump.
+        code, text, _ = run_cli("stats", str(target))
+        assert code == 0
+        assert "repro_serve_adapt_requests_total" in text
+
+    def test_zero_window_disables_coalescing(self):
+        code, text, _ = run_cli("serve", "--load", "--clients", "4",
+                                "--requests", "2",
+                                "--coalesce-window", "0")
+        assert code == 0
+        assert "8 adapt requests, 8 designer calls" in text
+
+    def test_bad_window_rejected(self):
+        code, text, err = run_cli("serve", "--coalesce-window", "-1",
+                                  "--load")
+        assert code == 2
+        assert "--coalesce-window" in err
+        assert text == ""
+
+    def test_bad_queue_limit_rejected(self):
+        code, _, err = run_cli("serve", "--queue-limit", "0", "--load")
+        assert code == 2
+        assert "queue_limit" in err
+
+    def test_bad_clients_rejected(self):
+        code, _, err = run_cli("serve", "--load", "--clients", "0")
+        assert code == 2
+        assert "clients" in err
+
+
 class TestDesign:
     def test_valid_level(self):
         code, text, _ = run_cli("design", "0.35")

@@ -9,7 +9,8 @@ import repro
 
 SUBPACKAGES = ("repro.core", "repro.baselines", "repro.phy", "repro.link",
                "repro.lighting", "repro.sim", "repro.des", "repro.net",
-               "repro.resilience", "repro.obs", "repro.experiments")
+               "repro.resilience", "repro.obs", "repro.serve",
+               "repro.experiments")
 
 
 class TestTopLevel:
