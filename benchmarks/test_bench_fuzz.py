@@ -1,0 +1,52 @@
+"""Bench: fuzz-campaign throughput.
+
+Times a seeded in-process campaign over the cheap oracles (the mix CI's
+``fuzz-smoke`` job runs), re-checks the determinism contract (two
+same-seed campaigns, identical digests, zero findings), and emits
+``BENCH_fuzz.json`` at the repository root so execs/s is recorded run
+over run alongside the other subsystems.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import CampaignConfig, run_campaign
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fuzz.json"
+
+ORACLES = ("codec", "roundtrip", "design", "serve")
+BUDGET = 120
+
+
+@pytest.mark.perf
+def test_bench_fuzz(bench):
+    config = CampaignConfig(seed=0, budget=BUDGET, oracles=ORACLES)
+    t0 = time.perf_counter()
+    first = run_campaign(config)
+    t_single = time.perf_counter() - t0
+    assert first.clean, [f.detail for f in first.findings]
+    assert first.executed == BUDGET
+
+    second = bench(run_campaign, config)
+    assert second.clean
+    assert second.digest == first.digest
+
+    payload = {
+        "bench": "fuzz",
+        "budget": BUDGET,
+        "oracles": list(ORACLES),
+        "campaign_s": round(t_single, 4),
+        "execs_per_s": round(first.execs_per_s, 1),
+        "by_oracle": dict(sorted(first.by_oracle.items())),
+        "campaign_digest": first.digest,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nfuzz: {BUDGET}-case campaign {t_single:.2f} s "
+          f"({first.execs_per_s:.0f} execs/s) -> {BENCH_JSON.name}")
+
+    # The floor: the cheap-oracle mix must stay fast enough that the
+    # CI smoke campaign (hundreds of cases) finishes in seconds.
+    assert first.execs_per_s > 10.0

@@ -24,6 +24,12 @@ Commands:
   journal (counters + tail); ``--jsonl FILE`` exports the full trace.
 * ``chaos`` — run one fault schedule against the supervised link and
   print its resilience report (and the determinism digest).
+* ``fuzz run`` — a seeded, budgeted differential-fuzzing campaign over
+  the modulation/scenario/fault space with crash isolation and
+  automatic failure shrinking (``--self-test`` hunts a known injected
+  defect instead); ``fuzz replay`` re-executes repro artifacts and
+  checks bit-identical digests; ``fuzz corpus`` lists or extends the
+  regression corpus under ``tests/fuzz/corpus/``.
 * ``stats <file>`` — render a ``--telemetry`` JSONL dump: counters,
   gauges, histograms (with p50/p95/p99), the span tree and run
   manifests (``--prometheus`` emits the metrics in Prometheus text
@@ -175,6 +181,45 @@ def build_parser() -> argparse.ArgumentParser:
                                 "--schedule random (default 0.6)")
     chaos_cmd.add_argument("--unsupervised", action="store_true",
                            help="run the no-supervision baseline instead")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="differential fuzzing: campaigns, replay, corpus")
+    fuzz_sub = fuzz_cmd.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded, budgeted fuzz campaign")
+    fuzz_run.add_argument("--budget", type=int, default=200, metavar="N",
+                          help="cases to execute (default 200)")
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (default 0)")
+    fuzz_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes (default: in-process)")
+    fuzz_run.add_argument("--oracles", default=None, metavar="CSV",
+                          help="comma-separated oracle subset "
+                               "(default: all, weighted)")
+    fuzz_run.add_argument("--timeout", type=float, default=30.0,
+                          metavar="S",
+                          help="per-case deadline in seconds before a "
+                               "case counts as hung (default 30)")
+    fuzz_run.add_argument("--chunk", type=int, default=128, metavar="K",
+                          help="cases per scheduling round (default 128)")
+    fuzz_run.add_argument("--findings", metavar="FILE", default=None,
+                          help="journal findings as JSON lines into FILE")
+    fuzz_run.add_argument("--self-test", action="store_true",
+                          help="inject a known synthetic defect and assert "
+                               "the harness finds, shrinks, and replays it")
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-execute repro artifacts, check digests")
+    fuzz_replay.add_argument("paths", nargs="*", metavar="FILE",
+                             help="artifact files (default: the shipped "
+                                  "corpus directory)")
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="list the regression corpus, or pin new entries")
+    fuzz_corpus.add_argument("--dir", default=None, metavar="DIR",
+                             help="corpus directory "
+                                  "(default tests/fuzz/corpus)")
+    fuzz_corpus.add_argument("--add", metavar="FINDINGS", default=None,
+                             help="pin every finding in a findings JSONL "
+                                  "journal as a new corpus artifact")
 
     serve_cmd = sub.add_parser(
         "serve", help="run the always-on adaptation control plane")
@@ -534,6 +579,145 @@ def _cmd_chaos(schedule: str, duration: float, seed: int, intensity: float,
     return 0
 
 
+def _cmd_fuzz_run(budget: int, seed: int, jobs: int | None,
+                  oracles: str | None, timeout: float, chunk: int,
+                  findings: str | None, selftest: bool, out, err) -> int:
+    from .fuzz import CampaignConfig, run_campaign, self_test
+    from .fuzz.generators import DEFAULT_WEIGHTS
+
+    if jobs is not None and jobs < 1:
+        return _fail(err, f"--jobs must be a positive integer, got {jobs}")
+    if selftest:
+        report = self_test(jobs=jobs,
+                           progress=lambda line: print(f"  {line}",
+                                                       file=out))
+        print(f"self-test: {'PASS' if report.passed else 'FAIL'} — "
+              f"{report.detail}", file=out)
+        if not report.found:
+            print("  the injected defect went undetected", file=out)
+        elif not report.shrunk_minimal:
+            print(f"  shrinking missed the minimal trigger "
+                  f"(got {report.minimal_params})", file=out)
+        elif not report.replay_identical:
+            print("  replay of the minimal repro was not bit-identical",
+                  file=out)
+        return 0 if report.passed else 1
+    names = (tuple(part.strip() for part in oracles.split(",") if
+                   part.strip()) if oracles is not None
+             else tuple(DEFAULT_WEIGHTS))
+    try:
+        config = CampaignConfig(seed=seed, budget=budget, jobs=jobs,
+                                oracles=names, timeout_s=timeout,
+                                chunk=chunk, findings_path=findings)
+    except ValueError as exc:
+        return _fail(err, str(exc))
+    print(f"fuzz campaign: seed {seed}, budget {budget}, "
+          f"oracles {','.join(names)}"
+          + (f", {jobs} jobs" if jobs else ""), file=out)
+    report = run_campaign(config,
+                          progress=lambda line: print(f"  {line}", file=out))
+    mix = ", ".join(f"{oracle}:{count}"
+                    for oracle, count in sorted(report.by_oracle.items()))
+    print(f"executed {report.executed} cases in {report.elapsed_s:.1f} s "
+          f"({report.execs_per_s:.0f}/s) — {mix}", file=out)
+    print(f"campaign digest: {report.digest}", file=out)
+    if report.clean:
+        print("no findings", file=out)
+        return 0
+    print(f"{len(report.findings)} findings:", file=out)
+    for finding in report.findings:
+        steps = finding.shrunk.steps if finding.shrunk else 0
+        print(f"  [{finding.status}] case {finding.case.index} "
+              f"({finding.case.oracle}): {finding.detail}", file=out)
+        print(f"    minimal repro ({steps} shrink steps): "
+              f"{finding.minimal_params}", file=out)
+    if findings:
+        print(f"[findings] {findings}", file=out)
+    return 1
+
+
+def _cmd_fuzz_replay(paths: Sequence[str], out, err) -> int:
+    from .fuzz import DEFAULT_CORPUS_DIR, replay_artifact, replay_corpus
+
+    try:
+        if paths:
+            outcomes = []
+            for raw in paths:
+                path = Path(raw)
+                if path.is_dir():
+                    outcomes.extend(replay_corpus(path))
+                elif path.is_file():
+                    outcomes.append(replay_artifact(path))
+                else:
+                    return _fail(err, f"no such artifact: {path}")
+        else:
+            directory = DEFAULT_CORPUS_DIR
+            if not directory.is_dir():
+                return _fail(err, f"no corpus directory at {directory} "
+                                  f"(run from the repo root, or pass "
+                                  f"artifact paths)")
+            outcomes = replay_corpus(directory)
+    except ValueError as exc:
+        return _fail(err, str(exc))
+    if not outcomes:
+        return _fail(err, "nothing to replay")
+    drift = [outcome for outcome in outcomes if not outcome.matched]
+    for outcome in outcomes:
+        print(outcome.describe(), file=out)
+    print(f"replayed {len(outcomes)} artifacts, "
+          f"{len(drift)} drifted", file=out)
+    return 1 if drift else 0
+
+
+def _cmd_fuzz_corpus(directory: str | None, add: str | None,
+                     out, err) -> int:
+    import json as json_module
+
+    from .fuzz import (DEFAULT_CORPUS_DIR, iter_corpus, load_artifact,
+                       pin_artifact, write_artifact)
+
+    corpus_dir = Path(directory) if directory else DEFAULT_CORPUS_DIR
+    if add is not None:
+        journal = Path(add)
+        if not journal.is_file():
+            return _fail(err, f"no findings journal at {journal}")
+        added = 0
+        for line in journal.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json_module.loads(line)
+                oracle = record["case"]["oracle"]
+                shrunk = record.get("shrunk") or {}
+                params = shrunk.get("params") or record["case"]["params"]
+                detail = str(record.get("detail", ""))
+            except (json_module.JSONDecodeError, KeyError, TypeError) as exc:
+                return _fail(err, f"malformed findings journal line: {exc}")
+            artifact = pin_artifact(str(oracle), params, note=detail)
+            name = f"{artifact.oracle}-{artifact.expect_digest[:12]}.json"
+            write_artifact(corpus_dir / name, artifact)
+            print(f"pinned {name} (status {artifact.expect_status})",
+                  file=out)
+            added += 1
+        print(f"added {added} artifacts to {corpus_dir}", file=out)
+        return 0
+    if not corpus_dir.is_dir():
+        return _fail(err, f"no corpus directory at {corpus_dir}")
+    count = 0
+    for path in iter_corpus(corpus_dir):
+        try:
+            artifact = load_artifact(path)
+        except ValueError as exc:
+            return _fail(err, str(exc))
+        note = f" — {artifact.note}" if artifact.note else ""
+        print(f"  {artifact.oracle:<9} {path.name}  "
+              f"expect {artifact.expect_status}/"
+              f"{artifact.expect_digest[:12]}{note}", file=out)
+        count += 1
+    print(f"{count} artifacts in {corpus_dir}", file=out)
+    return 0
+
+
 def _cmd_serve(host: str, port: int, coalesce_window_ms: float,
                max_connections: int, queue_limit: int, max_inflight: int,
                drain_grace: float, load: bool, clients: int, requests: int,
@@ -664,6 +848,16 @@ def main(argv: Sequence[str] | None = None, out=None, err=None) -> int:
     if args.command == "chaos":
         return _cmd_chaos(args.schedule, args.duration, args.seed,
                           args.intensity, args.unsupervised, out, err)
+    if args.command == "fuzz":
+        if args.fuzz_command == "run":
+            return _cmd_fuzz_run(args.budget, args.seed, args.jobs,
+                                 args.oracles, args.timeout, args.chunk,
+                                 args.findings, args.self_test, out, err)
+        if args.fuzz_command == "replay":
+            return _cmd_fuzz_replay(args.paths, out, err)
+        if args.fuzz_command == "corpus":
+            return _cmd_fuzz_corpus(args.dir, args.add, out, err)
+        raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
     if args.command == "serve":
         return _cmd_serve(args.host, args.port, args.coalesce_window,
                           args.max_connections, args.queue_limit,

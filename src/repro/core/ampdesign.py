@@ -185,8 +185,14 @@ class AmppmDesigner:
         bucket receives the *same* :class:`AmppmDesign` object, so the
         fan-out is byte-identical by construction.  Raises
         :class:`UnreachableDimmingError` on the first out-of-range
-        request, before any design is computed.
+        request, before any design is computed, and :class:`ValueError`
+        on an empty batch — a caller holding zero requests has a bug
+        upstream (the serving coalescer never flushes an empty window),
+        and silently returning ``[]`` would mask it.
         """
+        if len(dimmings) == 0:
+            raise ValueError("design_many needs at least one dimming "
+                             "level; an empty batch is a caller bug")
         lo, hi = self.supported_range
         for dimming in dimmings:
             if not lo - 1e-9 <= dimming <= hi + 1e-9:

@@ -1,0 +1,40 @@
+"""``repro.fuzz`` — differential fuzzing over the SmartVLC stack.
+
+The harness closes the loop the ROADMAP's "fuzz-driven exploration"
+item asks for: seeded generation across the (modulation × geometry ×
+ambient × fault-schedule) space (:mod:`.generators`), differential and
+invariant oracles over every independently-optimized path in the
+codebase (:mod:`.oracles`), crash-isolated parallel campaigns with a
+jobs-independent digest (:mod:`.runner`), delta-debugging reduction of
+failures to minimal deterministic repros (:mod:`.shrinker`), and a
+replayed regression corpus (:mod:`.corpus`).
+
+CLI surface: ``repro fuzz run | replay | corpus``.
+"""
+
+from .corpus import (DEFAULT_CORPUS_DIR, Artifact, ReplayOutcome,
+                     iter_corpus, load_artifact, pin_artifact,
+                     replay_artifact, replay_corpus, write_artifact)
+from .generators import (DEFAULT_WEIGHTS, FuzzCase, case_rng,
+                         generate_case, generate_cases)
+from .oracles import (DEFECT_ENV, ORACLES, CaseResult, execute_params,
+                      result_digest)
+from .runner import (CampaignConfig, CampaignReport, Finding,
+                     SelfTestReport, replay_params, run_campaign,
+                     self_test, write_findings)
+from .shrinker import (ShrinkOutcome, ShrinkStats, shrink, shrink_float,
+                       shrink_int, shrink_list)
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR", "Artifact", "ReplayOutcome", "iter_corpus",
+    "load_artifact", "pin_artifact", "replay_artifact", "replay_corpus",
+    "write_artifact",
+    "DEFAULT_WEIGHTS", "FuzzCase", "case_rng", "generate_case",
+    "generate_cases",
+    "DEFECT_ENV", "ORACLES", "CaseResult", "execute_params",
+    "result_digest",
+    "CampaignConfig", "CampaignReport", "Finding", "SelfTestReport",
+    "replay_params", "run_campaign", "self_test", "write_findings",
+    "ShrinkOutcome", "ShrinkStats", "shrink", "shrink_float",
+    "shrink_int", "shrink_list",
+]

@@ -1,0 +1,110 @@
+"""Seeded case generation over the modulation/scenario/fault space.
+
+A fuzz campaign is a pure function of ``(campaign seed, budget, oracle
+set)``.  Case ``i`` derives its generator from
+``SeedSequence(entropy=seed, spawn_key=(i,))`` — exactly the child that
+``SeedSequence(seed).spawn(budget)[i]`` would produce — so any single
+case can be regenerated from its ``(seed, index)`` coordinates alone,
+without replaying the campaign.  That is what makes a shrunk repro
+artifact self-contained: the artifact stores the concrete ``params``
+dict, and :func:`generate_case` can independently re-derive it.
+
+The oracle mix is weighted: cheap invariant oracles (codec parity, CRC
+round-trips, designer invariants) dominate the budget, while the
+expensive differential oracle over the multicell DES kernel gets a
+small, fixed share.  Weights are part of the campaign's determinism
+contract — changing them reshuffles which case index lands on which
+oracle, so they live here, next to the derivation rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .oracles import ORACLES
+
+#: Relative budget share per oracle (normalized at draw time).
+DEFAULT_WEIGHTS: Mapping[str, float] = {
+    "codec": 0.30,
+    "roundtrip": 0.20,
+    "design": 0.20,
+    "serve": 0.20,
+    "journal": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One concrete fuzz case: an oracle plus its JSON-able params."""
+
+    seed: int
+    index: int
+    oracle: str
+    params: dict
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "index": self.index,
+                "oracle": self.oracle, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, obj: Mapping) -> "FuzzCase":
+        for field_name in ("seed", "index", "oracle", "params"):
+            if field_name not in obj:
+                raise ValueError(f"fuzz case missing field {field_name!r}")
+        oracle = obj["oracle"]
+        if oracle not in ORACLES:
+            raise ValueError(f"unknown oracle {oracle!r}; "
+                             f"known: {sorted(ORACLES)}")
+        if not isinstance(obj["params"], Mapping):
+            raise ValueError("fuzz case params must be an object")
+        return cls(seed=int(obj["seed"]), index=int(obj["index"]),
+                   oracle=oracle, params=dict(obj["params"]))
+
+    def canonical(self) -> str:
+        """Canonical JSON (sorted keys) — the digest/replay identity."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def case_rng(seed: int, index: int) -> np.random.Generator:
+    """The per-case generator: pure in ``(seed, index)``."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,)))
+
+
+def _normalized_weights(oracles: Sequence[str]) -> np.ndarray:
+    weights = np.array([DEFAULT_WEIGHTS.get(name, 0.1) for name in oracles],
+                       dtype=float)
+    return weights / weights.sum()
+
+
+def generate_case(seed: int, index: int,
+                  oracles: Sequence[str] | None = None) -> FuzzCase:
+    """Case ``index`` of the campaign ``seed`` over an oracle subset."""
+    names = tuple(oracles) if oracles is not None else tuple(DEFAULT_WEIGHTS)
+    unknown = sorted(set(names) - set(ORACLES))
+    if unknown:
+        raise ValueError(f"unknown oracles {unknown}; "
+                         f"known: {sorted(ORACLES)}")
+    if not names:
+        raise ValueError("need at least one oracle")
+    rng = case_rng(seed, index)
+    name = str(rng.choice(list(names), p=_normalized_weights(names)))
+    params = ORACLES[name].generate(rng)
+    return FuzzCase(seed=seed, index=index, oracle=name, params=params)
+
+
+def generate_cases(seed: int, budget: int,
+                   oracles: Sequence[str] | None = None,
+                   start: int = 0) -> list[FuzzCase]:
+    """Cases ``start .. start+budget`` of a campaign, in index order."""
+    if budget < 0:
+        raise ValueError("budget cannot be negative")
+    return [generate_case(seed, index, oracles)
+            for index in range(start, start + budget)]

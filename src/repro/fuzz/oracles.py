@@ -1,0 +1,599 @@
+"""Differential and invariant oracles over the SmartVLC stack.
+
+Each oracle owns one slice of the correctness surface and three
+operations: ``generate`` (draw JSON-able params from a seeded
+generator), ``execute`` (run the checks, fully deterministic in the
+params), and ``shrink_candidates`` (one-step reductions for the
+delta-debugging shrinker).  Executing the same params twice — in any
+process, at any parallelism — produces the same :class:`CaseResult`
+and therefore the same :func:`result_digest`; that is the bit-identical
+replay contract behind ``repro fuzz replay``.
+
+The oracles:
+
+* ``codec`` — differential: the scalar combinadic codec
+  (:func:`repro.core.encode_symbol` / :func:`~repro.core.decode_symbol`
+  + :func:`repro.link.mac.corrupt_slots`) against the vectorized
+  :class:`repro.sim.batch.BatchCodec` / :func:`~repro.sim.batch.
+  corrupt_batch` on a shared random stream — encode, corruption, and
+  decode (weight verdicts included) must agree bit-for-bit.
+* ``roundtrip`` — invariant: CRC-16 round-trips, every single-bit
+  corruption is detected, and a designed AMPPM frame decodes back to
+  its payload through the real transmitter/receiver pair.
+* ``design`` — invariant: every designed super-symbol satisfies the
+  Type-I flicker bound, lands inside the illumination envelope
+  (|achieved − target| ≤ τ_perceived), and a fresh designer fork
+  reproduces it (the PR 6 memo-leak shape).
+* ``serve`` — differential: the batched/coalesced serving path
+  (:meth:`AdaptEngine.adapt_batch`) against the direct per-request
+  path, canonical response bytes compared per request.
+* ``journal`` — differential, over the multicell DES kernel: the
+  sharded kernel at ``regions=1`` and the spatial index are
+  bit-identical to the reference kernel, ``regions=R`` runs are
+  replay-deterministic with shard merge as identity, under randomized
+  grids, mobility, ambient profiles, and fault schedules.
+
+A synthetic defect can be armed through the ``REPRO_FUZZ_DEFECT``
+environment variable (``codec-misdecode``, ``crash``, ``hang``) — the
+``--self-test`` harness and the crash-isolation tests use it to prove
+the campaign machinery finds, survives, and shrinks real failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Protocol
+
+import numpy as np
+
+from .shrinker import shrink_float, shrink_int, shrink_list
+
+#: Environment variable arming a synthetic defect (self-test / tests).
+DEFECT_ENV = "REPRO_FUZZ_DEFECT"
+
+#: The ``codec-misdecode`` defect triggers at exactly these thresholds;
+#: the self-test asserts the shrinker recovers them.
+DEFECT_N_THRESHOLD = 12
+DEFECT_SYMBOLS_THRESHOLD = 24
+
+
+def active_defect() -> str:
+    """The armed synthetic defect ('' when none)."""
+    return os.environ.get(DEFECT_ENV, "")
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """The outcome of executing one fuzz case."""
+
+    status: str                      # "ok" | "fail"
+    detail: str = ""
+    observation: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"status": self.status, "detail": self.detail,
+                "observation": dict(self.observation)}
+
+
+def _ok(**observation) -> CaseResult:
+    return CaseResult("ok", observation=observation)
+
+
+def _fail(detail: str, **observation) -> CaseResult:
+    return CaseResult("fail", detail=detail, observation=observation)
+
+
+def result_digest(oracle: str, params: Mapping, result: CaseResult) -> str:
+    """SHA-256 over the canonical (oracle, params, result) encoding.
+
+    Two executions reproduce bit-identically exactly when their digests
+    agree — the identity ``repro fuzz replay`` checks.
+    """
+    payload = json.dumps(
+        {"oracle": oracle, "params": dict(params),
+         "result": result.as_dict()},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class Oracle(Protocol):  # pragma: no cover - typing only
+    name: str
+
+    def generate(self, rng: np.random.Generator) -> dict: ...
+
+    def execute(self, params: Mapping) -> CaseResult: ...
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]: ...
+
+
+# -- shared per-process state ------------------------------------------
+#
+# Designer tables dominate setup (~80 ms) and are pure in the default
+# SystemConfig, so worker processes build them once and oracles take
+# fresh forks when memo isolation matters.
+
+_SHARED: dict = {}
+
+
+def _config():
+    from ..core.params import SystemConfig
+
+    if "config" not in _SHARED:
+        _SHARED["config"] = SystemConfig()
+    return _SHARED["config"]
+
+
+def _designer():
+    """The per-process template designer.
+
+    Oracles must treat it as a *template*: candidate tables and the
+    envelope are pure in the config and safe to share, but anything
+    that touches the design memo goes through :meth:`fork` so a case's
+    result is a function of its params, never of which cases this
+    worker happened to run first (``design()`` answers within-bucket
+    requests with the bucket owner's design by contract).
+    """
+    from ..core.ampdesign import AmppmDesigner
+
+    if "designer" not in _SHARED:
+        _SHARED["designer"] = AmppmDesigner(_config())
+    return _SHARED["designer"]
+
+
+def _sub_rng(rngseed: int, stream: int) -> np.random.Generator:
+    """An execution stream derived purely from the params' seed."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=int(rngseed), spawn_key=(stream,)))
+
+
+def _maybe_injected_crash(n: int) -> None:
+    defect = active_defect()
+    if defect == "crash" and n >= DEFECT_N_THRESHOLD:
+        os._exit(17)  # a hard worker death, not an exception
+    if defect == "hang" and n >= DEFECT_N_THRESHOLD:
+        import time
+
+        while True:  # pragma: no cover - interrupted by the case deadline
+            time.sleep(0.05)
+
+
+# -- codec: scalar vs batched combinadic walk --------------------------
+
+
+class CodecOracle:
+    """Scalar-vs-batched codec parity on a shared random stream."""
+
+    name = "codec"
+
+    def generate(self, rng: np.random.Generator) -> dict:
+        n = int(rng.integers(4, 33))
+        return {
+            "n": n,
+            "k": int(rng.integers(1, n)),
+            "n_symbols": int(rng.integers(4, 97)),
+            "p_off": round(float(rng.uniform(0.0, 0.25)), 6),
+            "p_on": round(float(rng.uniform(0.0, 0.25)), 6),
+            "rngseed": int(rng.integers(0, 2**31 - 1)),
+        }
+
+    def execute(self, params: Mapping) -> CaseResult:
+        from ..core.coding import decode_symbol, encode_symbol
+        from ..core.errormodel import SlotErrorModel
+        from ..link.mac import corrupt_slots
+        from ..sim.batch import BatchCodec, corrupt_batch
+
+        n, k = int(params["n"]), int(params["k"])
+        n_symbols = int(params["n_symbols"])
+        _maybe_injected_crash(n)
+        codec = BatchCodec(n, k)
+        if not codec.supported:  # pragma: no cover - n<=63 always fits
+            return _ok(skipped="int64 fallback")
+        errors = SlotErrorModel(float(params["p_off"]), float(params["p_on"]))
+        rngseed = int(params["rngseed"])
+        values = _sub_rng(rngseed, 0).integers(0, codec.capacity,
+                                               size=n_symbols)
+        batch_rng = _sub_rng(rngseed, 1)
+        scalar_rng = _sub_rng(rngseed, 1)
+
+        sent = codec.encode_batch(values)
+        scalar_sent = [encode_symbol(int(v), n, k) for v in values]
+        if not np.array_equal(sent, np.array(scalar_sent, dtype=bool)):
+            row = int(np.nonzero(
+                (sent != np.array(scalar_sent, dtype=bool)).any(axis=1))[0][0])
+            return _fail(f"encode parity: batch and scalar codewords "
+                         f"diverge at symbol {row}")
+
+        corrupted = corrupt_batch(sent, errors, batch_rng)
+        scalar_corrupted = [corrupt_slots(list(row), errors, scalar_rng)
+                            for row in scalar_sent]
+        if not np.array_equal(corrupted,
+                              np.array(scalar_corrupted, dtype=bool)):
+            row = int(np.nonzero(
+                (corrupted != np.array(scalar_corrupted, dtype=bool))
+                .any(axis=1))[0][0])
+            return _fail(f"corruption parity: random streams diverge "
+                         f"at frame {row}")
+
+        decoded, weight_ok = codec.decode_batch(corrupted)
+        if (active_defect() == "codec-misdecode"
+                and n >= DEFECT_N_THRESHOLD
+                and n_symbols >= DEFECT_SYMBOLS_THRESHOLD):
+            decoded = decoded.copy()
+            decoded[0] += 1  # the injected defect: an off-by-one rank
+        for i, row in enumerate(scalar_corrupted):
+            scalar_weight = sum(row) == k
+            if scalar_weight != bool(weight_ok[i]):
+                return _fail(f"weight parity: verdicts diverge "
+                             f"at symbol {i}")
+            if scalar_weight and decode_symbol(row, k) != int(decoded[i]):
+                return _fail(f"decode parity: ranks diverge at symbol {i}")
+        wrong = int(np.count_nonzero(~weight_ok
+                                     | (decoded != values)))
+        checksum = hashlib.sha256(
+            np.ascontiguousarray(decoded).tobytes()).hexdigest()[:16]
+        return _ok(symbol_errors=wrong, decode_checksum=checksum)
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]:
+        base = dict(params)
+        for n_symbols in shrink_int(int(base["n_symbols"]), 1):
+            yield {**base, "n_symbols": n_symbols}
+        for n in shrink_int(int(base["n"]), 2):
+            yield {**base, "n": n, "k": min(int(base["k"]), n - 1)}
+        for k in shrink_int(int(base["k"]), 1):
+            yield {**base, "k": k}
+        for p in shrink_float(float(base["p_off"]), 0.0):
+            yield {**base, "p_off": p}
+        for p in shrink_float(float(base["p_on"]), 0.0):
+            yield {**base, "p_on": p}
+        for seed in shrink_int(int(base["rngseed"]), 0):
+            yield {**base, "rngseed": seed}
+
+
+# -- roundtrip: CRC + framed codec round-trips -------------------------
+
+
+class RoundtripOracle:
+    """CRC and frame round-trip invariants on arbitrary payloads."""
+
+    name = "roundtrip"
+
+    def generate(self, rng: np.random.Generator) -> dict:
+        length = int(rng.integers(1, 49))
+        payload = bytes(int(b) for b in rng.integers(0, 256, size=length))
+        return {
+            "payload_hex": payload.hex(),
+            "flip_bit": int(rng.integers(0, (length + 2) * 8)),
+            "dimming": round(float(rng.uniform(0.05, 0.95)), 4),
+        }
+
+    def execute(self, params: Mapping) -> CaseResult:
+        from ..link.crc import append_crc, check_crc, crc16
+        from ..link.frame import FrameError
+        from ..link.receiver import Receiver
+        from ..link.transmitter import Transmitter
+
+        data = bytes.fromhex(str(params["payload_hex"]))
+        if not data:
+            return _fail("empty payload is not a valid case")
+        tagged = append_crc(data)
+        if not check_crc(tagged):
+            return _fail("CRC round-trip: freshly tagged payload "
+                         "fails its own check")
+        flip = int(params["flip_bit"]) % (len(tagged) * 8)
+        corrupted = bytearray(tagged)
+        corrupted[flip // 8] ^= 1 << (flip % 8)
+        if check_crc(bytes(corrupted)):
+            return _fail(f"CRC blind spot: single-bit flip at bit {flip} "
+                         f"goes undetected")
+
+        # A forked designer for the same reason as DesignOracle: the
+        # shared scheme's memo warms across cases, and a within-bucket
+        # hit would make frame_slots depend on process history.
+        from ..schemes import AmppmSchemeDesign
+
+        dimming = _designer().clamp(float(params["dimming"]))
+        design = AmppmSchemeDesign(_designer().fork().design(dimming),
+                                   _config())
+        slots = Transmitter(_config()).encode_frame(data, design)
+        try:
+            frame = Receiver(_config()).decode_frame(list(slots))
+        except FrameError as exc:
+            return _fail(f"frame round-trip: clean frame rejected ({exc})")
+        if frame.payload != data:
+            return _fail("frame round-trip: decoded payload differs")
+        return _ok(crc=crc16(data), frame_slots=len(slots))
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]:
+        base = dict(params)
+        data = bytes.fromhex(str(base["payload_hex"]))
+        for shorter in shrink_list(list(data)):
+            if shorter:
+                yield {**base, "payload_hex": bytes(shorter).hex()}
+        if data:
+            zeroed = bytes(len(data))
+            if zeroed != data:
+                yield {**base, "payload_hex": zeroed.hex()}
+        for flip in shrink_int(int(base["flip_bit"]), 0):
+            yield {**base, "flip_bit": flip}
+        for dimming in shrink_float(float(base["dimming"]), 0.5):
+            yield {**base, "dimming": dimming}
+
+
+# -- design: flicker / envelope / memo-purity invariants ---------------
+
+
+class DesignOracle:
+    """Designer invariants at a randomized dimming request."""
+
+    name = "design"
+
+    def generate(self, rng: np.random.Generator) -> dict:
+        return {"dimming": round(float(rng.uniform(0.001, 0.999)), 6)}
+
+    def execute(self, params: Mapping) -> CaseResult:
+        # Design on a fresh fork: the template's memo is warm with every
+        # prior case this worker ran, and ``design()`` deliberately
+        # answers within-bucket requests with the bucket owner's design
+        # — correct for one consumer, but it would make this result a
+        # function of process history instead of ``params``.
+        designer = _designer().fork()
+        config = _config()
+        target = designer.clamp(float(params["dimming"]))
+        design = designer.design(target)
+        ss = design.super_symbol
+        if not ss.flicker_free(config):
+            return _fail(f"flicker bound violated by {ss} "
+                         f"at dimming {target:.6f}")
+        if design.dimming_error > config.tau_perceived + 1e-9:
+            return _fail(f"illumination envelope: |achieved-target| = "
+                         f"{design.dimming_error:.6f} exceeds "
+                         f"tau_perceived {config.tau_perceived:g}")
+        fresh = _designer().fork().design(target)
+        if fresh.super_symbol != ss:
+            return _fail("memo purity: a fresh designer fork produced "
+                         "a different super-symbol")
+        return _ok(n1=ss.first.n_slots, k1=ss.first.n_on, m1=ss.m1,
+                   n2=ss.second.n_slots, k2=ss.second.n_on, m2=ss.m2,
+                   achieved=round(design.achieved_dimming, 9))
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]:
+        base = dict(params)
+        for dimming in shrink_float(float(base["dimming"]), 0.5,
+                                    decimals=(1, 2, 3, 4)):
+            yield {**base, "dimming": dimming}
+
+
+# -- serve: batched serving path vs the direct designer ----------------
+
+
+class ServeOracle:
+    """Served-vs-direct byte equality over randomized request mixes."""
+
+    name = "serve"
+
+    def generate(self, rng: np.random.Generator) -> dict:
+        tau = _config().tau_perceived
+        count = int(rng.integers(1, 10))
+        requests: list[dict] = []
+        for i in range(count):
+            if requests and rng.random() < 0.35:
+                # Stress duplicate memo buckets: jitter a prior request
+                # within the perceived resolution (the PR 6 leak shape).
+                donor = requests[int(rng.integers(0, len(requests)))]
+                dimming = donor["dimming"] + float(
+                    rng.uniform(-tau / 4, tau / 4))
+            else:
+                dimming = float(rng.uniform(0.02, 0.98))
+            requests.append({
+                "dimming": round(min(max(dimming, 0.001), 0.999), 6),
+                "ambient": round(float(rng.uniform(0.0, 1.0)), 4),
+                "distance_m": round(float(rng.uniform(0.5, 6.0)), 3),
+                "angle_deg": round(float(rng.uniform(0.0, 75.0)), 2),
+                "id": f"c{i}",
+            })
+        return {"requests": requests}
+
+    def execute(self, params: Mapping) -> CaseResult:
+        from ..serve.protocol import encode, ok_response, parse_request
+        from ..serve.server import AdaptEngine
+
+        raw = list(params["requests"])
+        if not raw:
+            return _fail("empty request list is not a valid case")
+        requests = [parse_request({"v": 1, "op": "adapt", **r}) for r in raw]
+        direct_engine = AdaptEngine(_config(), designer=_designer().fork())
+        batch_engine = AdaptEngine(_config(), designer=_designer().fork())
+        direct = [encode(ok_response("adapt",
+                                     direct_engine.adapt_direct(r), r.id))
+                  for r in requests]
+        batched_payloads = batch_engine.adapt_batch(list(requests))
+        batched = [encode(ok_response("adapt", payload, r.id))
+                   for payload, r in zip(batched_payloads, requests)]
+        for i, (a, b) in enumerate(zip(direct, batched)):
+            if a != b:
+                return _fail(f"served-vs-direct divergence at request {i}: "
+                             f"batched reply differs from the direct "
+                             f"designer answer")
+        buckets = {direct_engine.bucket(r.dimming) for r in requests}
+        replies_sha = hashlib.sha256(b"".join(direct)).hexdigest()[:16]
+        return _ok(requests=len(requests), unique_buckets=len(buckets),
+                   replies_sha=replies_sha)
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]:
+        base = dict(params)
+        requests = list(base["requests"])
+        for fewer in shrink_list(requests):
+            if fewer:
+                yield {**base, "requests": fewer}
+        rounded = [{**r, "dimming": round(float(r["dimming"]), 2)}
+                   for r in requests]
+        if rounded != requests:
+            yield {**base, "requests": rounded}
+        neutral = [{**r, "ambient": 1.0, "distance_m": 3.0, "angle_deg": 0.0}
+                   for r in requests]
+        if neutral != requests:
+            yield {**base, "requests": neutral}
+
+
+# -- journal: sharded DES kernel parity and determinism ----------------
+
+
+class JournalOracle:
+    """Multicell kernel differentials under randomized scenarios.
+
+    Checks the invariants the sharded kernel actually guarantees:
+    ``run_sharded`` at ``regions=1`` and the spatial-index path are
+    bit-identical to the reference kernel; ``regions=R`` runs are
+    same-seed deterministic with ``merge_journals`` as the identity on
+    their shards and aggregate handovers matching the unsharded run.
+    (``regions=R`` journals legitimately differ from ``regions=1`` in
+    event interleaving — the conservative-lookahead rounds re-time
+    boundary reports — so raw digest equality across R is *not* an
+    invariant and is deliberately not asserted.)
+    """
+
+    name = "journal"
+
+    def generate(self, rng: np.random.Generator) -> dict:
+        rows = int(rng.integers(1, 4))
+        cols = int(rng.integers(1, 4))
+        if rows * cols < 2:
+            cols = 2
+        nodes = int(rng.integers(1, 4))
+        duration = round(float(rng.uniform(2.0, 5.0)), 1)
+        outages: list[list[float]] = []
+        downtime: list[list] = []
+        if rng.random() < 0.5:
+            for _ in range(int(rng.integers(1, 3))):
+                start = round(float(rng.uniform(0.0, 0.6)) * duration, 2)
+                end = round(start + float(rng.uniform(0.2, 0.4)) * duration, 2)
+                outages.append([start, end])
+        if rng.random() < 0.4:
+            for _ in range(int(rng.integers(1, 3))):
+                node = f"node-{int(rng.integers(0, nodes)):02d}"
+                start = round(float(rng.uniform(0.0, 0.6)) * duration, 2)
+                end = round(start + float(rng.uniform(0.2, 0.4)) * duration, 2)
+                downtime.append([node, start, end])
+        return {
+            "rows": rows,
+            "cols": cols,
+            "nodes": nodes,
+            "duration": duration,
+            "seed": int(rng.integers(0, 2**31 - 1)),
+            "regions": int(rng.integers(2, min(4, rows * cols) + 1)),
+            "ambient_kind": ("ramp" if rng.random() < 0.3 else "static"),
+            "ambient_level": round(float(rng.uniform(0.05, 0.9)), 2),
+        }| ({"outages": outages} if outages else {}) \
+          | ({"downtime": downtime} if downtime else {})
+
+    def _build(self, params: Mapping, **overrides):
+        from ..lighting.ambient import BlindRampAmbient, StaticAmbient
+        from ..net.multicell import default_network
+        from ..resilience.faults import FaultPlan
+
+        nodes = int(params["nodes"])
+        known = {f"node-{i:02d}" for i in range(nodes)}
+        duration = float(params["duration"])
+        profile = (BlindRampAmbient(duration_s=duration)
+                   if params.get("ambient_kind") == "ramp"
+                   else StaticAmbient(float(params.get("ambient_level",
+                                                       0.4))))
+        plan = FaultPlan(
+            node_downtime=tuple(
+                (str(name), float(s), float(e))
+                for name, s, e in params.get("downtime", ())
+                if str(name) in known),
+            uplink_outages=tuple((float(s), float(e))
+                                 for s, e in params.get("outages", ())),
+        )
+        return default_network(rows=int(params["rows"]),
+                               cols=int(params["cols"]),
+                               n_nodes=nodes, seed=int(params["seed"]),
+                               profile=profile, faults=plan, **overrides)
+
+    def execute(self, params: Mapping) -> CaseResult:
+        from ..net.sharded import merge_journals, run_sharded
+
+        duration = float(params["duration"])
+        reference = self._build(params).run(duration)
+        degenerate = run_sharded(self._build(params), duration)
+        if degenerate.journal.digest() != reference.journal.digest():
+            return _fail("regions=1 degeneracy: the sharded machinery "
+                         "at one region diverges from the reference "
+                         "kernel")
+        allpairs = self._build(params, use_spatial_index=False).run(duration)
+        if allpairs.journal.digest() != reference.journal.digest():
+            return _fail("spatial-index parity: culling changed the "
+                         "journal")
+        observation = {
+            "digest": reference.journal.digest()[:16],
+            "events": len(reference.journal),
+            "handovers": reference.total_handovers,
+        }
+        regions = min(int(params["regions"]),
+                      int(params["rows"]) * int(params["cols"]))
+        if regions > 1:
+            first = self._build(params, regions=regions).run(duration)
+            second = self._build(params, regions=regions).run(duration)
+            if first.journal.digest() != second.journal.digest():
+                return _fail(f"sharded determinism: two regions={regions} "
+                             f"replays disagree")
+            merged = merge_journals(first.shards)
+            if merged.digest() != first.journal.digest():
+                return _fail("shard merge identity: merge_journals over "
+                             "the shards is not the run's journal")
+            if first.total_handovers != reference.total_handovers:
+                return _fail(f"handover divergence: regions={regions} saw "
+                             f"{first.total_handovers} handovers, the "
+                             f"reference kernel {reference.total_handovers}")
+            observation["sharded_digest"] = first.journal.digest()[:16]
+        return _ok(**observation)
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]:
+        base = dict(params)
+        for duration in shrink_float(float(base["duration"]), 2.0,
+                                     decimals=(0, 1)):
+            if duration >= 1.0:
+                yield {**base, "duration": duration}
+        for nodes in shrink_int(int(base["nodes"]), 1):
+            yield {**base, "nodes": nodes}
+        for rows in shrink_int(int(base["rows"]), 1):
+            yield {**base, "rows": rows,
+                   "regions": min(int(base["regions"]),
+                                  rows * int(base["cols"]))}
+        for cols in shrink_int(int(base["cols"]), 1):
+            yield {**base, "cols": cols,
+                   "regions": min(int(base["regions"]),
+                                  int(base["rows"]) * cols)}
+        for key in ("outages", "downtime"):
+            if base.get(key):
+                for fewer in shrink_list(list(base[key])):
+                    candidate = dict(base)
+                    if fewer:
+                        candidate[key] = fewer
+                    else:
+                        candidate.pop(key)
+                    yield candidate
+        if base.get("ambient_kind") == "ramp":
+            yield {**base, "ambient_kind": "static"}
+        for seed in shrink_int(int(base["seed"]), 0):
+            yield {**base, "seed": seed}
+
+
+#: The oracle registry, in presentation order.
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (CodecOracle(), RoundtripOracle(), DesignOracle(),
+                   ServeOracle(), JournalOracle())
+}
+
+
+def execute_params(oracle: str, params: Mapping) -> CaseResult:
+    """Run one oracle on concrete params (the replay entry point)."""
+    if oracle not in ORACLES:
+        raise ValueError(f"unknown oracle {oracle!r}; "
+                         f"known: {sorted(ORACLES)}")
+    return ORACLES[oracle].execute(params)

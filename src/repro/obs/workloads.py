@@ -96,6 +96,14 @@ def bench_workloads(config: SystemConfig | None = None
 
         return asyncio.run(fleet())
 
+    def fuzz_smoke():
+        from ..fuzz import CampaignConfig, run_campaign
+
+        report = run_campaign(CampaignConfig(
+            seed=0, budget=24, oracles=("codec", "roundtrip", "design")))
+        assert report.clean, [f.detail for f in report.findings]
+        return report.digest
+
     return {
         "design.envelope": design_envelope,
         "codec.roundtrip": codec_roundtrip,
@@ -104,4 +112,5 @@ def bench_workloads(config: SystemConfig | None = None
         "des.multicell": des_multicell,
         "des.fleet": des_fleet,
         "serve.adapt": serve_adapt,
+        "fuzz.smoke": fuzz_smoke,
     }

@@ -188,8 +188,33 @@ class FaultSchedule:
         return tuple(f for f in self.faults if isinstance(f, kind))
 
     def combine(self, other: "FaultSchedule") -> "FaultSchedule":
-        """A schedule containing this schedule's faults then ``other``'s."""
+        """A schedule containing this schedule's faults then ``other``'s.
+
+        Composition is commutative *in effect*: every by-time query
+        folds active windows with order-independent reductions (max for
+        loss/scale/boost, any() for outages and churn, latest-step for
+        ambient), so ``a.combine(b)`` and ``b.combine(a)`` answer every
+        query identically even though their fault tuples differ.
+        """
         return FaultSchedule(self.faults + other.faults)
+
+    def shifted(self, dt: float) -> "FaultSchedule":
+        """The same schedule displaced ``dt`` seconds into the future.
+
+        Time-translation equivariance: ``shifted(dt)`` at ``t + dt``
+        answers every by-time query exactly as the original does at
+        ``t``.  Shifting left (``dt < 0``) is allowed as long as no
+        window start would go negative.
+        """
+        from dataclasses import replace
+
+        def move(fault):
+            if isinstance(fault, AmbientStep):
+                return replace(fault, at_s=fault.at_s + dt)
+            return replace(fault, start_s=fault.start_s + dt,
+                           end_s=fault.end_s + dt)
+
+        return FaultSchedule(tuple(move(fault) for fault in self.faults))
 
     # -- by-time queries (chaos harness, end-to-end link) ---------------
 
@@ -226,11 +251,18 @@ class FaultSchedule:
 
         Blinding does *not* enter here — it saturates the receiver, not
         the room — so lighting control sees only genuine daylight.
+        Steps landing at exactly the same instant resolve to the
+        brightest level, not to tuple position, so the answer is
+        independent of the order schedules were combined in.
         """
         level = base
         last_step = None
         for f in self.of_type(AmbientStep):
-            if f.at_s <= t and (last_step is None or f.at_s >= last_step.at_s):
+            if f.at_s > t:
+                continue
+            if (last_step is None or f.at_s > last_step.at_s
+                    or (f.at_s == last_step.at_s
+                        and f.level > last_step.level)):
                 last_step = f
         if last_step is not None:
             level = last_step.level

@@ -220,6 +220,12 @@ def parse_line(line: bytes) -> "AdaptRequest | LinkRequest | SimpleRequest":
         obj = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ProtocolError(E_BAD_REQUEST, f"not JSON: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        # json.loads(bytes) decodes before parsing; invalid UTF-8 is a
+        # client framing error, not a server fault.
+        raise ProtocolError(E_BAD_REQUEST,
+                            f"not UTF-8: {exc.reason} at byte "
+                            f"{exc.start}") from exc
     return parse_request(obj)
 
 

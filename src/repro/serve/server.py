@@ -161,6 +161,8 @@ class AdaptEngine:
 
     def adapt_batch(self, requests: list[AdaptRequest]) -> list[dict]:
         """The batched path: one designer call per unique memo bucket."""
+        if not requests:  # design_many rejects empty batches
+            return []
         clamped = [self.designer.clamp(r.dimming) for r in requests]
         designs = self.designer.design_many(clamped)
         return [self.result(r, d) for r, d in zip(requests, designs)]
@@ -412,7 +414,11 @@ class ControlPlane:
                              writer: asyncio.StreamWriter) -> None:
         try:
             first = await reader.readline()
-        except (ConnectionError, asyncio.LimitOverrunError):
+        except (ConnectionError, ValueError):
+            # ValueError is how StreamReader.readline reports a line
+            # overrunning the stream limit: a fuzzer-shaped first line
+            # with no newline in sight.  No transport was ever
+            # established, so a clean close is the whole answer.
             writer.close()
             return
         if not first:
@@ -448,8 +454,7 @@ class ControlPlane:
                 await self._ndjson_session(first, reader, writer, conn)
             else:
                 await self._http_session(first, reader, writer, conn)
-        except (ConnectionError, asyncio.IncompleteReadError,
-                asyncio.LimitOverrunError):
+        except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
             del self._connections[key]
@@ -474,6 +479,15 @@ class ControlPlane:
                 line = await reader.readline()
             except (ConnectionError, asyncio.IncompleteReadError):
                 break
+            except ValueError:
+                # The line overran the stream limit.  The stream is no
+                # longer frame-aligned, so tell the client and close —
+                # but as a structured protocol error, never a crash.
+                await self._write(writer, conn,
+                                  encode(error_response(
+                                      E_BAD_REQUEST,
+                                      "request line too long")))
+                break
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
 
@@ -496,6 +510,13 @@ class ControlPlane:
             self._write_soon(writer, conn,
                             encode(error_response(E_BAD_REQUEST,
                                                   f"not JSON: {exc}")))
+            return None
+        except UnicodeDecodeError as exc:
+            self._write_soon(writer, conn,
+                            encode(error_response(
+                                E_BAD_REQUEST,
+                                f"not UTF-8: {exc.reason} at byte "
+                                f"{exc.start}")))
             return None
         if isinstance(request, AdaptRequest):
             refusal = self._admission_error(conn, request.id)
@@ -581,15 +602,27 @@ class ControlPlane:
             method, path, _version = parts
             headers: dict[str, str] = {}
             while True:
-                header = await reader.readline()
+                try:
+                    header = await reader.readline()
+                except ValueError:  # header line overran the stream limit
+                    body = encode(error_response(E_BAD_REQUEST,
+                                                 "header line too long"))
+                    await self._write(writer, conn,
+                                      self._http_response(400, body,
+                                                          keep_alive=False))
+                    return
                 if header in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = header.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or "0")
-            if length > _MAX_BODY_BYTES:
-                body = encode(error_response(E_BAD_REQUEST,
-                                             "request body too large"))
+            try:
+                length = int(headers.get("content-length", "0") or "0")
+            except ValueError:
+                length = -1
+            if not 0 <= length <= _MAX_BODY_BYTES:
+                detail = ("request body too large" if length > 0
+                          else "invalid content-length")
+                body = encode(error_response(E_BAD_REQUEST, detail))
                 await self._write(writer, conn,
                                   self._http_response(400, body,
                                                       keep_alive=False))
@@ -638,6 +671,11 @@ class ControlPlane:
                 return 400, JSON_CONTENT_TYPE, encode(
                     error_response(E_BAD_REQUEST, f"not JSON: {exc}",
                                    op="link"))
+            except UnicodeDecodeError as exc:
+                return 400, JSON_CONTENT_TYPE, encode(
+                    error_response(E_BAD_REQUEST,
+                                   f"not UTF-8: {exc.reason} at byte "
+                                   f"{exc.start}", op="link"))
             payload = self._link_payload(request)
             self._observe("link", "http", loop.time() - started)
             return 200, JSON_CONTENT_TYPE, encode(
@@ -666,6 +704,11 @@ class ControlPlane:
         except json.JSONDecodeError as exc:
             return 400, JSON_CONTENT_TYPE, encode(
                 error_response(E_BAD_REQUEST, f"not JSON: {exc}", op="adapt"))
+        except UnicodeDecodeError as exc:
+            return 400, JSON_CONTENT_TYPE, encode(
+                error_response(E_BAD_REQUEST,
+                               f"not UTF-8: {exc.reason} at byte "
+                               f"{exc.start}", op="adapt"))
         refusal = self._admission_error(conn, request.id)
         if refusal is not None:
             return 503, JSON_CONTENT_TYPE, encode(refusal)

@@ -140,3 +140,50 @@ class SweepRunner:
                     parent_id=None if parent is None else parent.span_id,
                     base_depth=0 if parent is None else parent.depth + 1)
             return [result for result, _, _ in triples]
+
+    def map_guarded(self, func: Callable,
+                    points: Iterable) -> list[tuple[str, Any]]:
+        """:meth:`map` that survives worker deaths, point by point.
+
+        Returns one ``(status, value)`` pair per point, in point order:
+        ``("ok", result)`` for points whose worker returned, and
+        ``("crash", detail)`` for points whose worker process died
+        (segfault, ``os._exit``, OOM kill — anything that breaks the
+        pool).  A broken pool normally poisons every outstanding future
+        in a :class:`~concurrent.futures.ProcessPoolExecutor`; here the
+        surviving points are re-run, each in a fresh single-worker
+        pool, so exactly the killer points are marked and the rest
+        still produce results.  The fuzz campaign runner depends on
+        this: a crashing case is a *finding*, never the end of the
+        campaign.
+
+        ``func`` must tolerate being called twice for the same point
+        (re-isolation re-runs survivors of a broken batch), which every
+        deterministic worker does for free.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        points = list(points)
+        if not self.parallel or len(points) <= 1:
+            # In-process there is no pool to break: a crashing point
+            # would take the whole interpreter down regardless, so a
+            # plain map is the honest behaviour.
+            return [("ok", result) for result in self.map(func, points)]
+        try:
+            return [("ok", result) for result in self.map(func, points)]
+        except BrokenProcessPool:
+            pass
+        # The batch died.  Isolate each point in its own throwaway
+        # pool: one worker, one point, so a death names its culprit.
+        metrics().counter(
+            "repro_sweep_broken_pools_total",
+            help="sweep batches re-isolated after a worker death").inc()
+        guarded: list[tuple[str, Any]] = []
+        for point in points:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as pool:
+                    guarded.append(("ok", pool.submit(func, point).result()))
+            except BrokenProcessPool:
+                guarded.append(("crash",
+                                "worker process died executing this point"))
+        return guarded

@@ -122,8 +122,17 @@ class TestDesignMany:
             fork.design_many([0.5, 0.001])
         assert not fork._cache
 
-    def test_empty_batch(self, designer):
-        assert designer.design_many([]) == []
+    def test_empty_batch_is_rejected(self, designer):
+        """An empty batch is a caller bug, not a no-op."""
+        with pytest.raises(ValueError, match="at least one dimming"):
+            designer.design_many([])
+
+    def test_duplicate_requests_share_one_object(self, config):
+        """Byte-for-byte duplicates collapse to a single design object."""
+        fork = AmppmDesigner(config).fork()
+        batch = fork.design_many([0.47, 0.47, 0.47])
+        assert batch[0] is batch[1] is batch[2]
+        assert len(fork._cache) == 1
 
 
 class TestConfigurationEffects:

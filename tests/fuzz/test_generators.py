@@ -1,0 +1,86 @@
+"""Case generation: pure in (seed, index), validated, canonical."""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    DEFAULT_WEIGHTS,
+    ORACLES,
+    FuzzCase,
+    case_rng,
+    generate_case,
+    generate_cases,
+)
+
+
+class TestDerivation:
+    def test_pure_in_seed_and_index(self):
+        assert generate_case(7, 3) == generate_case(7, 3)
+
+    def test_independent_of_budget(self):
+        """Case i is the same whether generated alone or in a batch."""
+        batch = generate_cases(5, 20)
+        assert batch[13] == generate_case(5, 13)
+
+    def test_different_indices_differ(self):
+        cases = generate_cases(0, 30)
+        assert len({case.canonical() for case in cases}) == 30
+
+    def test_different_seeds_differ(self):
+        assert generate_case(0, 4) != generate_case(1, 4)
+
+    def test_params_are_json_roundtrippable(self):
+        for case in generate_cases(3, 25):
+            assert json.loads(case.canonical()) == case.as_dict()
+
+    def test_case_rng_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            case_rng(0, -1)
+
+
+class TestOracleMix:
+    def test_every_oracle_appears_in_a_long_run(self):
+        names = {case.oracle for case in generate_cases(0, 200)}
+        assert names == set(DEFAULT_WEIGHTS)
+
+    def test_weights_cover_the_registry(self):
+        assert set(DEFAULT_WEIGHTS) == set(ORACLES)
+
+    def test_subset_restricts_the_mix(self):
+        cases = generate_cases(0, 30, oracles=("codec", "design"))
+        assert {case.oracle for case in cases} <= {"codec", "design"}
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            generate_case(0, 0, oracles=("codec", "nope"))
+
+    def test_empty_oracle_set_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            generate_case(0, 0, oracles=())
+
+
+class TestFuzzCaseDict:
+    def test_round_trip(self):
+        case = generate_case(11, 2)
+        assert FuzzCase.from_dict(case.as_dict()) == case
+
+    @pytest.mark.parametrize("missing", ["seed", "index", "oracle",
+                                         "params"])
+    def test_missing_field_rejected(self, missing):
+        obj = generate_case(0, 0).as_dict()
+        del obj[missing]
+        with pytest.raises(ValueError, match=missing):
+            FuzzCase.from_dict(obj)
+
+    def test_unknown_oracle_in_dict_rejected(self):
+        obj = generate_case(0, 0).as_dict()
+        obj["oracle"] = "bogus"
+        with pytest.raises(ValueError, match="unknown oracle"):
+            FuzzCase.from_dict(obj)
+
+    def test_non_mapping_params_rejected(self):
+        obj = generate_case(0, 0).as_dict()
+        obj["params"] = [1, 2]
+        with pytest.raises(ValueError, match="params"):
+            FuzzCase.from_dict(obj)

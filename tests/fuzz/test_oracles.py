@@ -1,0 +1,99 @@
+"""The oracles themselves: determinism, clean passes, armed defects."""
+
+import pytest
+
+from repro.fuzz import ORACLES, execute_params, generate_cases, result_digest
+from repro.fuzz.oracles import (
+    DEFECT_ENV,
+    DEFECT_N_THRESHOLD,
+    DEFECT_SYMBOLS_THRESHOLD,
+)
+
+
+# Zero corruption keeps every frame weight-valid, so the decode-parity
+# comparison (where the injected defect lives) runs on row 0.
+DEFECT_PARAMS = {"n": DEFECT_N_THRESHOLD, "k": 4,
+                 "n_symbols": DEFECT_SYMBOLS_THRESHOLD,
+                 "p_off": 0.0, "p_on": 0.0, "rngseed": 3}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("oracle", sorted(set(ORACLES) - {"journal"}))
+    def test_repeat_executions_are_bit_identical(self, oracle):
+        case = next(c for c in generate_cases(2, 60, oracles=(oracle,)))
+        first = execute_params(oracle, case.params)
+        second = execute_params(oracle, case.params)
+        assert first.as_dict() == second.as_dict()
+        assert result_digest(oracle, case.params, first) == \
+            result_digest(oracle, case.params, second)
+
+    def test_digest_depends_on_params(self):
+        a, b = generate_cases(0, 20, oracles=("design",))[:2]
+        ra = execute_params("design", a.params)
+        rb = execute_params("design", b.params)
+        assert result_digest("design", a.params, ra) != \
+            result_digest("design", b.params, rb)
+
+
+class TestCleanTree:
+    """A healthy tree passes every oracle on a seeded sample."""
+
+    @pytest.mark.parametrize("oracle", ["codec", "roundtrip", "design",
+                                        "serve"])
+    def test_cheap_oracles_pass(self, oracle):
+        for case in generate_cases(4, 6, oracles=(oracle,)):
+            result = execute_params(oracle, case.params)
+            assert result.status == "ok", (case.params, result.detail)
+
+    def test_journal_oracle_passes(self):
+        case = generate_cases(4, 1, oracles=("journal",))[0]
+        result = execute_params("journal", case.params)
+        assert result.status == "ok", (case.params, result.detail)
+
+
+class TestShrinkCandidates:
+    @pytest.mark.parametrize("oracle", sorted(ORACLES))
+    def test_candidates_are_valid_reductions(self, oracle):
+        case = generate_cases(6, 40, oracles=(oracle,))[0]
+        candidates = list(ORACLES[oracle].shrink_candidates(case.params))
+        assert candidates, "every oracle must offer reductions"
+        for candidate in candidates[:8]:
+            assert candidate != case.params
+            result = execute_params(oracle, candidate)
+            assert result.status in ("ok", "fail")
+
+
+class TestInjectedDefect:
+    def test_misdecode_fires_at_the_thresholds(self, monkeypatch):
+        monkeypatch.setenv(DEFECT_ENV, "codec-misdecode")
+        result = execute_params("codec", DEFECT_PARAMS)
+        assert result.status == "fail"
+        assert "decode parity" in result.detail
+
+    @pytest.mark.parametrize("field, value", [
+        ("n", DEFECT_N_THRESHOLD - 1),
+        ("n_symbols", DEFECT_SYMBOLS_THRESHOLD - 1),
+    ])
+    def test_misdecode_silent_below_either_threshold(self, monkeypatch,
+                                                     field, value):
+        monkeypatch.setenv(DEFECT_ENV, "codec-misdecode")
+        params = {**DEFECT_PARAMS, field: value}
+        assert execute_params("codec", params).status == "ok"
+
+    def test_disarmed_by_default(self):
+        assert execute_params("codec", DEFECT_PARAMS).status == "ok"
+
+
+class TestErrorPaths:
+    def test_unknown_oracle(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            execute_params("bogus", {})
+
+    def test_empty_serve_request_list_is_a_fail_result(self):
+        result = execute_params("serve", {"requests": []})
+        assert result.status == "fail"
+
+    def test_unexpected_exception_propagates(self):
+        """Broken params raise: the runner journals them as errors."""
+        with pytest.raises(Exception):
+            execute_params("codec", {"n": "wat"})

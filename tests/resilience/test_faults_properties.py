@@ -1,0 +1,138 @@
+"""Property tests for the FaultSchedule composition algebra.
+
+Hypothesis generates arbitrary schedules (overlapping windows included
+— overlap is the interesting case) and checks the algebraic laws the
+docstrings promise: ``combine`` is commutative and associative *in
+effect* (every by-time query folds active windows order-independently),
+the overlap semantics are max/any reductions, and ``shifted`` is a
+time-translation equivariance with ``shifted(dt).shifted(-dt)`` as the
+identity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errormodel import SlotErrorModel
+from repro.resilience import (
+    AckLossBurst,
+    AdcBlinding,
+    AmbientStep,
+    FaultSchedule,
+    NodeDowntime,
+    UplinkOutage,
+)
+
+# All times live on a dyadic grid (multiples of 1/1024, bounded by 64):
+# sums and differences of such values are exact in binary floating
+# point, so shifting by a grid dt and back is the identity and boundary
+# comparisons never flip — the properties are about the algebra, not
+# about accumulated rounding.
+GRID = 1024
+
+
+def dyadic(lo: float, hi: float):
+    return st.integers(int(lo * GRID), int(hi * GRID)).map(
+        lambda i: i / GRID)
+
+
+windows = st.tuples(dyadic(0.0, 30.0), dyadic(0.05, 10.0)).map(
+    lambda pair: (pair[0], pair[0] + pair[1]))
+
+outages = windows.map(lambda w: UplinkOutage(*w))
+ack_bursts = st.tuples(
+    windows, st.floats(min_value=0.0, max_value=1.0)
+).map(lambda t: AckLossBurst(*t[0], loss_probability=round(t[1], 3)))
+blindings = st.tuples(
+    windows, st.floats(min_value=0.01, max_value=1.0)
+).map(lambda t: AdcBlinding(*t[0], severity=round(t[1], 3)))
+steps = st.tuples(
+    dyadic(0.0, 30.0), st.floats(min_value=0.0, max_value=1.0),
+).map(lambda t: AmbientStep(t[0], round(t[1], 3)))
+downtimes = st.tuples(
+    windows, st.sampled_from(["node-00", "node-01"])
+).map(lambda t: NodeDowntime(t[1], *t[0]))
+
+faults = st.one_of(outages, ack_bursts, blindings, steps, downtimes)
+schedules = st.lists(faults, max_size=6).map(
+    lambda fs: FaultSchedule(tuple(fs)))
+times = dyadic(0.0, 45.0)
+shifts = dyadic(0.0, 20.0)
+
+BASE = SlotErrorModel(0.001, 0.0005)
+
+
+def queries(schedule: FaultSchedule, t: float) -> tuple:
+    """Every by-time observable at one instant, as one comparable value."""
+    return (schedule.uplink_outage_at(t),
+            schedule.ack_loss_at(t),
+            schedule.error_scale_at(t),
+            schedule.ambient_at(t, 0.4),
+            schedule.ambient_boost_at(t),
+            schedule.node_down_at("node-00", t),
+            schedule.node_down_at("node-01", t))
+
+
+class TestCombineAlgebra:
+    @given(a=schedules, b=schedules, t=times)
+    @settings(max_examples=150, deadline=None)
+    def test_commutative_in_effect(self, a, b, t):
+        assert queries(a.combine(b), t) == queries(b.combine(a), t)
+
+    @given(a=schedules, b=schedules, c=schedules, t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, a, b, c, t):
+        left = a.combine(b).combine(c)
+        right = a.combine(b.combine(c))
+        assert left.faults == right.faults
+        assert queries(left, t) == queries(right, t)
+
+    @given(a=schedules, t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_empty_schedule_is_the_identity(self, a, t):
+        empty = FaultSchedule()
+        assert queries(a.combine(empty), t) == queries(a, t)
+        assert queries(empty.combine(a), t) == queries(a, t)
+
+    @given(a=schedules, b=schedules, t=times)
+    @settings(max_examples=150, deadline=None)
+    def test_overlap_takes_the_max(self, a, b, t):
+        """Overlapping windows reduce with max / any, never sum."""
+        combined = a.combine(b)
+        assert combined.ack_loss_at(t) == max(a.ack_loss_at(t),
+                                              b.ack_loss_at(t))
+        assert combined.error_scale_at(t) == max(a.error_scale_at(t),
+                                                 b.error_scale_at(t))
+        assert combined.ambient_boost_at(t) == max(a.ambient_boost_at(t),
+                                                   b.ambient_boost_at(t))
+        assert combined.uplink_outage_at(t) == (a.uplink_outage_at(t)
+                                                or b.uplink_outage_at(t))
+
+    @given(a=schedules, b=schedules)
+    @settings(max_examples=100, deadline=None)
+    def test_combine_preserves_every_fault(self, a, b):
+        combined = a.combine(b)
+        assert len(combined) == len(a) + len(b)
+        assert combined.end_s == max(a.end_s, b.end_s, 0.0)
+
+
+class TestShifted:
+    @given(a=schedules, dt=shifts, t=times)
+    @settings(max_examples=150, deadline=None)
+    def test_time_translation_equivariance(self, a, dt, t):
+        assert queries(a.shifted(dt), t + dt) == queries(a, t)
+
+    @given(a=schedules, dt=shifts)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_is_the_identity(self, a, dt):
+        assert a.shifted(dt).shifted(-dt) == a
+
+    @given(a=schedules, dt=shifts)
+    @settings(max_examples=50, deadline=None)
+    def test_shift_distributes_over_combine(self, a, dt):
+        b = a.shifted(dt)
+        assert a.combine(a).shifted(dt) == b.combine(b)
+
+    @given(a=schedules, t=times)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_shift_is_a_no_op(self, a, t):
+        assert a.shifted(0.0) == a
