@@ -24,6 +24,12 @@ Commands:
   journal (counters + tail); ``--jsonl FILE`` exports the full trace.
 * ``chaos`` — run one fault schedule against the supervised link and
   print its resilience report (and the determinism digest).
+* ``scenario list|show|run`` — the trace-driven scenario engine:
+  enumerate the shipped scenarios, print one as its versioned JSON
+  document, or compile/run/judge one (``--regions`` shards the DES,
+  ``--report FILE`` writes the ScenarioReport + RunManifest JSON
+  artifact, ``--file`` reads a scenario document instead of a shipped
+  name; exit code 1 when the run misses its SLOs).
 * ``fuzz run`` — a seeded, budgeted differential-fuzzing campaign over
   the modulation/scenario/fault space with crash isolation and
   automatic failure shrinking (``--self-test`` hunts a known injected
@@ -220,6 +226,32 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_corpus.add_argument("--add", metavar="FINDINGS", default=None,
                              help="pin every finding in a findings JSONL "
                                   "journal as a new corpus artifact")
+
+    scenario_cmd = sub.add_parser(
+        "scenario", help="trace-driven scenarios: list, show, run")
+    scenario_sub = scenario_cmd.add_subparsers(dest="scenario_command",
+                                               required=True)
+    scenario_sub.add_parser("list", help="list the shipped scenarios")
+    scenario_show = scenario_sub.add_parser(
+        "show", help="print one scenario as its JSON document")
+    scenario_show.add_argument("name", metavar="NAME",
+                               help="shipped scenario name")
+    scenario_show.add_argument("--file", action="store_true",
+                               help="treat NAME as a scenario JSON file "
+                                    "path instead")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="compile, run, and judge one scenario")
+    scenario_run.add_argument("name", metavar="NAME",
+                              help="shipped scenario name")
+    scenario_run.add_argument("--file", action="store_true",
+                              help="treat NAME as a scenario JSON file "
+                                   "path instead")
+    scenario_run.add_argument("--regions", type=int, default=1, metavar="R",
+                              help="spatial shards for the DES kernel "
+                                   "(default 1: unsharded)")
+    scenario_run.add_argument("--report", metavar="FILE", default=None,
+                              help="write the ScenarioReport (with its "
+                                   "RunManifest) as JSON into FILE")
 
     serve_cmd = sub.add_parser(
         "serve", help="run the always-on adaptation control plane")
@@ -718,6 +750,72 @@ def _cmd_fuzz_corpus(directory: str | None, add: str | None,
     return 0
 
 
+def _load_cli_scenario(name: str, from_file: bool, err):
+    """Resolve a CLI scenario argument to a Scenario, or an exit code."""
+    from .scenarios import load_scenario, shipped_scenarios
+
+    if from_file:
+        path = Path(name)
+        if not path.is_file():
+            return None, _fail(err, f"no such scenario file: {path}")
+        try:
+            return load_scenario(path), 0
+        except (ValueError, KeyError, TypeError) as exc:
+            return None, _fail(err, f"invalid scenario file {path}: {exc}")
+    shipped = shipped_scenarios()
+    if name not in shipped:
+        return None, _fail(err, f"unknown scenario {name!r}; known: "
+                                f"{sorted(shipped)} (or pass --file)")
+    return shipped[name], 0
+
+
+def _cmd_scenario_list(out) -> int:
+    from .scenarios import shipped_scenarios
+
+    for name, scenario in shipped_scenarios().items():
+        chaos = (f", chaos {scenario.chaos.schedule}"
+                 if scenario.chaos is not None else "")
+        print(f"  {name:<24} {len(scenario.rooms)} room(s), "
+              f"{scenario.n_luminaires} luminaires, "
+              f"{scenario.population} occupants, "
+              f"{scenario.duration_s:g} s{chaos}", file=out)
+        print(f"    {scenario.description}", file=out)
+    return 0
+
+
+def _cmd_scenario_show(name: str, from_file: bool, out, err) -> int:
+    scenario, code = _load_cli_scenario(name, from_file, err)
+    if scenario is None:
+        return code
+    print(scenario.to_json(), file=out)
+    return 0
+
+
+def _cmd_scenario_run(name: str, from_file: bool, regions: int,
+                      report_path: str | None, out, err) -> int:
+    import json as json_module
+
+    from .scenarios import ScenarioRunner
+
+    scenario, code = _load_cli_scenario(name, from_file, err)
+    if scenario is None:
+        return code
+    if regions < 1 or regions > scenario.n_luminaires:
+        return _fail(err, f"--regions must lie in "
+                          f"[1, {scenario.n_luminaires}] for scenario "
+                          f"{scenario.name!r}, got {regions}")
+    run = ScenarioRunner(scenario, regions=regions).run()
+    print(run.report.render(), file=out)
+    if report_path is not None:
+        payload = run.report.as_dict()
+        payload["manifest"] = run.manifest.as_dict()
+        path = Path(report_path)
+        path.write_text(json_module.dumps(payload, indent=2,
+                                          sort_keys=True) + "\n")
+        print(f"[report] {path}", file=out)
+    return 0 if run.report.passed else 1
+
+
 def _cmd_serve(host: str, port: int, coalesce_window_ms: float,
                max_connections: int, queue_limit: int, max_inflight: int,
                drain_grace: float, load: bool, clients: int, requests: int,
@@ -858,6 +956,16 @@ def main(argv: Sequence[str] | None = None, out=None, err=None) -> int:
         if args.fuzz_command == "corpus":
             return _cmd_fuzz_corpus(args.dir, args.add, out, err)
         raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
+    if args.command == "scenario":
+        if args.scenario_command == "list":
+            return _cmd_scenario_list(out)
+        if args.scenario_command == "show":
+            return _cmd_scenario_show(args.name, args.file, out, err)
+        if args.scenario_command == "run":
+            return _cmd_scenario_run(args.name, args.file, args.regions,
+                                     args.report, out, err)
+        raise AssertionError(
+            f"unhandled scenario command {args.scenario_command!r}")
     if args.command == "serve":
         return _cmd_serve(args.host, args.port, args.coalesce_window,
                           args.max_connections, args.queue_limit,

@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (import-for-registration)
     ext_multicell,
     ext_payload,
     ext_room,
+    ext_scenarios,
     ext_serbound,
     fig04_ser,
     fig06_multiplexing,

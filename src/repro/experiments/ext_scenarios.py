@@ -1,0 +1,91 @@
+"""Extension: the shipped scenario suite judged against its SLOs.
+
+Not a paper figure — the paper's prototype is one luminaire on a desk —
+but its deployment story is a smart-lit building living through real
+days.  This harness runs every shipped scenario (see
+:mod:`repro.scenarios.shipped`) through the scenario engine and reports
+one SLO row per scenario: simulated room-hours, occupant population,
+mean goodput over occupied windows, illumination error against the
+daylight target, flicker-bound violations, handover count, and the
+PASS/FAIL verdict against the scenario's own :class:`~repro.scenarios.
+dsl.SloSpec` — plus the journal digest that pins the run.
+
+Every scenario is an independent seeded run, so the sweep is
+``SweepRunner``-parallel and bit-deterministic under ``--jobs N``; the
+``regions`` knob runs each scenario on the sharded kernel (capped at
+the scenario's luminaire count).
+"""
+
+from __future__ import annotations
+
+from ..core.params import SystemConfig
+from ..scenarios.runner import ScenarioRunner
+from ..scenarios.shipped import shipped_scenarios
+from ..sim.results import TableResult
+from ..sim.sweep import SweepRunner
+from .registry import register
+
+
+def _run_point(point: tuple) -> dict:
+    """One scenario's flat SLO metrics (a SweepRunner work item)."""
+    config, scenario, regions = point
+    runner = ScenarioRunner(scenario,
+                            regions=min(regions, scenario.n_luminaires),
+                            config=config)
+    run = runner.run()
+    report = run.report
+    return {
+        "name": scenario.name,
+        "rooms": len(report.rooms),
+        "population": scenario.population,
+        "scenario_hours": report.scenario_hours,
+        "mean_goodput_bps": report.metrics()["mean_goodput_bps"],
+        "illumination_error": report.metrics()["illumination_error"],
+        "flicker_violations": int(report.metrics()["flicker_violations"]),
+        "handovers": int(report.metrics()["handovers"]),
+        "violations": len(report.violations),
+        "passed": report.passed,
+        "digest": report.journal_digest,
+    }
+
+
+@register("ext-scenarios")
+def run(config: SystemConfig | None = None, regions: int = 1,
+        jobs: int | None = None) -> TableResult:
+    """One SLO verdict row per shipped scenario."""
+    config = config if config is not None else SystemConfig()
+    if regions < 1:
+        raise ValueError("regions must be positive")
+    scenarios = tuple(shipped_scenarios().values())
+    points = [(config, scenario, regions) for scenario in scenarios]
+    metrics = SweepRunner(jobs).map(_run_point, points)
+
+    rows = tuple(
+        (
+            m["name"],
+            f"{m['rooms']}",
+            f"{m['population']}",
+            f"{m['scenario_hours']:.1f}",
+            f"{m['mean_goodput_bps'] / 1e3:.1f}",
+            f"{m['illumination_error']:.4f}",
+            f"{m['flicker_violations']}",
+            f"{m['handovers']}",
+            "PASS" if m["passed"] else f"FAIL ({m['violations']})",
+            m["digest"][:12],
+        )
+        for m in metrics
+    )
+    hours = sum(m["scenario_hours"] for m in metrics)
+    return TableResult(
+        table_id="ext-scenarios",
+        title="Extension: shipped scenarios vs their SLOs "
+              "(trace-driven daylight + occupancy)",
+        header=("scenario", "rooms", "occupants", "room-hours",
+                "goodput (Kbps)", "illum err", "flicker", "handovers",
+                "SLO", "journal digest"),
+        rows=rows,
+        notes=f"{hours:.1f} simulated room-hours across "
+              f"{len(scenarios)} scenarios at regions={regions}; goodput "
+              "averaged over occupied report windows only; digests pin "
+              "byte-identical replays",
+    )

@@ -29,11 +29,12 @@ from .oracles import ORACLES
 
 #: Relative budget share per oracle (normalized at draw time).
 DEFAULT_WEIGHTS: Mapping[str, float] = {
-    "codec": 0.30,
-    "roundtrip": 0.20,
-    "design": 0.20,
-    "serve": 0.20,
-    "journal": 0.10,
+    "codec": 0.28,
+    "roundtrip": 0.19,
+    "design": 0.19,
+    "serve": 0.18,
+    "journal": 0.08,
+    "scenario": 0.08,
 }
 
 

@@ -32,6 +32,13 @@ The oracles:
   bit-identical to the reference kernel, ``regions=R`` runs are
   replay-deterministic with shard merge as identity, under randomized
   grids, mobility, ambient profiles, and fault schedules.
+* ``scenario`` — differential, over the scenario engine: a random
+  small :class:`~repro.scenarios.dsl.Scenario` document round-trips
+  the strict loader, replays digest-identically at ``regions=1`` with
+  equal reports, matches the sharded machinery at one region
+  bit-for-bit, and a ``regions=R`` run is replay-deterministic with
+  handovers conserved against the reference — all without a single
+  flicker violation.
 
 A synthetic defect can be armed through the ``REPRO_FUZZ_DEFECT``
 environment variable (``codec-misdecode``, ``crash``, ``hang``) — the
@@ -583,11 +590,170 @@ class JournalOracle:
             yield {**base, "seed": seed}
 
 
+# -- scenario: trace-driven scenario engine parity and invariants ------
+
+
+class ScenarioOracle:
+    """Scenario-engine differentials over randomized tiny buildings.
+
+    The params carry a complete ``Scenario.to_dict`` document, so every
+    case also exercises the strict loader: ``from_dict`` must accept it
+    and ``to_dict`` must reproduce it exactly.  On top of that, the
+    engine's replay contract: two ``regions=1`` runs journal
+    bit-identically and fold to equal reports, the sharded machinery at
+    one region matches the reference kernel digest-for-digest, and a
+    ``regions=R`` run is replay-deterministic with handovers and report
+    delivery conserved against the reference.  The adaptation planner's
+    own guarantee — never a perceptible lighting step — is asserted as
+    an invariant of every run.
+    """
+
+    name = "scenario"
+
+    def generate(self, rng: np.random.Generator) -> dict:
+        from ..scenarios.dsl import (
+            ChaosSpec,
+            DaylightSpec,
+            OccupancySpec,
+            RoomSpec,
+            Scenario,
+        )
+
+        duration = round(float(rng.uniform(40.0, 90.0)), 1)
+        tick = float(rng.choice((2.0, 3.0, 5.0)))
+        rooms = []
+        for index in range(int(rng.integers(1, 3))):
+            daylight = DaylightSpec(
+                sunrise_s=0.0,
+                sunset_s=round(duration * float(rng.uniform(1.2, 2.5)), 1),
+                peak_level=round(float(rng.uniform(0.3, 0.9)), 3),
+                night_level=round(float(rng.uniform(0.0, 0.1)), 3),
+                cloud_depth=round(float(rng.uniform(0.0, 0.6)), 3),
+                cloud_time_scale_s=round(float(rng.uniform(10.0, 60.0)), 1),
+                window_gain=round(float(rng.uniform(0.5, 1.0)), 3))
+            occupancy = OccupancySpec(
+                population=int(rng.integers(1, 3)),
+                arrive_lo_s=0.0,
+                arrive_hi_s=round(duration * 0.2, 1),
+                depart_lo_s=round(duration * 0.6, 1),
+                depart_hi_s=round(duration * 0.9, 1),
+                pause_s=round(float(rng.uniform(0.0, 10.0)), 1))
+            rooms.append(RoomSpec(
+                id=f"room-{index}", rows=1,
+                cols=int(rng.integers(1, 3)),
+                spacing_m=round(float(rng.uniform(1.5, 3.5)), 2),
+                daylight=daylight, occupancy=occupancy))
+        chaos = (ChaosSpec(schedule="random",
+                           intensity=round(float(rng.uniform(0.2, 0.8)), 3))
+                 if rng.random() < 0.35 else None)
+        scenario = Scenario(
+            name="fuzz", rooms=tuple(rooms),
+            seed=int(rng.integers(0, 2**31 - 1)),
+            duration_s=duration, tick_s=tick,
+            report_window_s=round(duration / 2.0, 1),
+            chaos=chaos)
+        limit = min(2, scenario.n_luminaires)
+        return {"scenario": scenario.to_dict(),
+                "regions": int(rng.integers(1, limit + 1))}
+
+    def execute(self, params: Mapping) -> CaseResult:
+        from ..net.sharded import run_sharded
+        from ..scenarios.compiler import compile_scenario
+        from ..scenarios.dsl import Scenario
+        from ..scenarios.runner import ScenarioRunner
+
+        document = dict(params["scenario"])
+        scenario = Scenario.from_dict(document)
+        if scenario.to_dict() != document:
+            return _fail("DSL round-trip: from_dict(to_dict) is not "
+                         "the identity on this document")
+        first = ScenarioRunner(scenario).run()
+        second = ScenarioRunner(scenario).run()
+        if first.report.journal_digest != second.report.journal_digest:
+            return _fail("scenario replay: two regions=1 runs journal "
+                         "differently")
+        if first.report.as_dict() != second.report.as_dict():
+            return _fail("report determinism: equal journals folded to "
+                         "different reports")
+        sharded = run_sharded(compile_scenario(scenario).simulation,
+                              scenario.duration_s)
+        if sharded.journal.digest() != first.report.journal_digest:
+            return _fail("regions=1 degeneracy: the sharded machinery "
+                         "at one region diverges from the scenario run")
+        flicker = sum(room.flicker_violations for room in first.report.rooms)
+        if flicker:
+            return _fail(f"flicker invariant: {flicker} perceptible "
+                         f"lighting step(s) journalled at regions=1")
+        observation = {
+            "digest": first.report.journal_digest[:16],
+            "events": len(first.result.journal),
+            "handovers": first.result.total_handovers,
+            "rooms": len(scenario.rooms),
+            "population": scenario.population,
+        }
+        regions = min(int(params.get("regions", 1)), scenario.n_luminaires)
+        if regions > 1:
+            r_first = ScenarioRunner(scenario, regions=regions).run()
+            r_second = ScenarioRunner(scenario, regions=regions).run()
+            if (r_first.report.journal_digest
+                    != r_second.report.journal_digest):
+                return _fail(f"sharded determinism: two regions={regions} "
+                             f"scenario replays disagree")
+            if (r_first.result.total_handovers
+                    != first.result.total_handovers):
+                return _fail(f"handover divergence: regions={regions} saw "
+                             f"{r_first.result.total_handovers} handovers, "
+                             f"regions=1 {first.result.total_handovers}")
+            r_metrics, metrics = r_first.result.metrics(), \
+                first.result.metrics()
+            for key in ("reports_delivered", "reports_lost"):
+                if r_metrics[key] != metrics[key]:
+                    return _fail(f"report-plane divergence: {key} differs "
+                                 f"at regions={regions}")
+            r_flicker = sum(room.flicker_violations
+                            for room in r_first.report.rooms)
+            if r_flicker:
+                return _fail(f"flicker invariant: {r_flicker} perceptible "
+                             f"lighting step(s) at regions={regions}")
+            observation["sharded_digest"] = \
+                r_first.report.journal_digest[:16]
+        return _ok(**observation)
+
+    def shrink_candidates(self, params: Mapping) -> Iterator[dict]:
+        base = dict(params)
+        document = dict(base["scenario"])
+        rooms = list(document["rooms"])
+        if len(rooms) > 1:
+            for fewer in shrink_list(rooms):
+                if fewer:
+                    yield {**base,
+                           "scenario": {**document, "rooms": fewer}}
+        if document.get("chaos") is not None:
+            yield {**base, "scenario": {**document, "chaos": None}}
+        if int(base.get("regions", 1)) > 1:
+            yield {**base, "regions": 1}
+        for index, room in enumerate(rooms):
+            occupancy = dict(room["occupancy"])
+            if occupancy["population"] > 1:
+                smaller = [dict(other) for other in rooms]
+                smaller[index] = {**room, "occupancy":
+                                  {**occupancy, "population": 1}}
+                yield {**base,
+                       "scenario": {**document, "rooms": smaller}}
+            if int(room["cols"]) > 1:
+                smaller = [dict(other) for other in rooms]
+                smaller[index] = {**room, "cols": int(room["cols"]) - 1}
+                yield {**base,
+                       "scenario": {**document, "rooms": smaller}}
+        for seed in shrink_int(int(document["seed"]), 0):
+            yield {**base, "scenario": {**document, "seed": seed}}
+
+
 #: The oracle registry, in presentation order.
 ORACLES: dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (CodecOracle(), RoundtripOracle(), DesignOracle(),
-                   ServeOracle(), JournalOracle())
+                   ServeOracle(), JournalOracle(), ScenarioOracle())
 }
 
 

@@ -5,6 +5,8 @@ from .ambient import (
     AmbientProfile,
     BlindRampAmbient,
     CloudyDayAmbient,
+    DaylightAmbient,
+    ScheduledAmbient,
     StaticAmbient,
     StepAmbient,
 )
@@ -38,6 +40,7 @@ __all__ = [
     "ControllerSample",
     "DIRECT_RESOLUTIONS",
     "DayNightManager",
+    "DaylightAmbient",
     "DeskIlluminance",
     "EnergyReport",
     "LinkMode",
@@ -45,6 +48,7 @@ __all__ = [
     "INDIRECT_RESOLUTIONS",
     "LUX_FULL_SCALE",
     "Luminaire",
+    "ScheduledAmbient",
     "SmartLightingController",
     "StaticAmbient",
     "StepAmbient",

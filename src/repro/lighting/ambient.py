@@ -148,6 +148,107 @@ class CloudyDayAmbient(AmbientProfile):
 
 
 @dataclass(frozen=True)
+class DaylightAmbient(AmbientProfile):
+    """Piecewise solar-elevation daylight: night floor, sunrise-to-sunset
+    solar arc, seeded cloud attenuation.
+
+    The solar piece follows ``sin(elevation)`` raised to ``shape`` (a
+    crude airmass correction that flattens the arc near the horizon),
+    scaled between ``night_level`` and ``peak_level``.  Cloud cover is a
+    cosine-interpolated knot sequence drawn from a
+    :class:`numpy.random.SeedSequence` child, so scenario engines can
+    derive per-room skies from one scenario seed without stream overlap.
+    Outside ``[sunrise_s, sunset_s]`` the profile sits at the night
+    floor, which makes the curve exactly piecewise: two constant night
+    segments joined by the attenuated solar arc.
+    """
+
+    sunrise_s: float = 6.0 * 3600.0
+    sunset_s: float = 18.0 * 3600.0
+    peak_level: float = 0.85
+    night_level: float = 0.02
+    shape: float = 1.2
+    cloud_depth: float = 0.15
+    cloud_time_scale_s: float = 900.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sunrise_s < self.sunset_s:
+            raise ValueError("need 0 <= sunrise_s < sunset_s")
+        if not 0.0 <= self.night_level <= self.peak_level <= 1.0:
+            raise ValueError("need 0 <= night_level <= peak_level <= 1")
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+        if not 0.0 <= self.cloud_depth < 1.0:
+            raise ValueError("cloud_depth must lie in [0, 1)")
+        if self.cloud_time_scale_s <= 0:
+            raise ValueError("cloud_time_scale_s must be positive")
+        ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(0,))
+        rng = np.random.default_rng(ss)
+        day_s = self.sunset_s - self.sunrise_s
+        n_knots = max(4, int(day_s / self.cloud_time_scale_s) + 2)
+        object.__setattr__(self, "_knots", tuple(rng.uniform(0.0, 1.0, size=n_knots)))
+
+    def _cloud_factor(self, t: float) -> float:
+        """Cosine-interpolated cloud cover in [0, 1]."""
+        knots = self._knots
+        position = (t / self.cloud_time_scale_s) % (len(knots) - 1)
+        i = int(position)
+        frac = position - i
+        w = 0.5 - 0.5 * math.cos(math.pi * frac)
+        return knots[i] * (1.0 - w) + knots[i + 1] * w
+
+    def intensity(self, t: float) -> float:
+        if t <= self.sunrise_s or t >= self.sunset_s:
+            return self.night_level
+        x = (t - self.sunrise_s) / (self.sunset_s - self.sunrise_s)
+        solar = math.sin(math.pi * x) ** self.shape
+        attenuation = 1.0 - self.cloud_depth * self._cloud_factor(t)
+        level = self.night_level + (
+            self.peak_level - self.night_level) * solar * attenuation
+        return min(max(level, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class ScheduledAmbient(AmbientProfile):
+    """A base profile with timed override steps layered on top.
+
+    Each step is ``(at_s, level)``: from ``at_s`` onward the ambient is
+    pinned at ``level`` until the next step takes over.  A step whose
+    level is ``None`` releases the override and returns to the base
+    profile — so a blind pulled shut at noon and reopened an hour later
+    is ``((noon, 0.05), (noon + 3600, None))``.  This is the DES-side
+    counterpart of the fault layer's ambient steps: scenario compilers
+    fold chaos overlays into plain step tuples here, keeping lighting
+    free of any dependency on the resilience package.
+    """
+
+    base: AmbientProfile
+    steps: tuple[tuple[float, float | None], ...] = ()
+
+    def __post_init__(self) -> None:
+        times = [at for at, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("step times must be non-decreasing")
+        for _, level in self.steps:
+            if level is not None and not 0.0 <= level <= 1.0:
+                raise ValueError("step levels must lie in [0, 1] or be None")
+
+    def intensity(self, t: float) -> float:
+        active: float | None = None
+        overridden = False
+        for when, level in self.steps:
+            if t >= when:
+                active = level
+                overridden = True
+            else:
+                break
+        if overridden and active is not None:
+            return active
+        return self.base.intensity(t)
+
+
+@dataclass(frozen=True)
 class StepAmbient(AmbientProfile):
     """Piecewise-constant ambient light for controller tests."""
 

@@ -58,6 +58,18 @@ class MobilityModel(ABC):
         bit-identically even though runs trim history as they go.
         """
 
+    def retire(self, t: float) -> None:
+        """Release a trace whose node leaves the simulation at ``t``.
+
+        Equivalent to :meth:`reset` followed by ``forget_before(t)``:
+        all buffered history is dropped, and if the node later rejoins
+        (occupancy churn), positions from ``t`` onward replay exactly
+        as if the trace had never been trimmed — stateful models must
+        not resurrect discarded legs into memory on the way back.
+        """
+        self.reset()
+        self.forget_before(t)
+
 
 @dataclass(frozen=True)
 class StaticPosition(MobilityModel):
@@ -138,7 +150,14 @@ class RandomWaypoint(MobilityModel):
         self._low_water = 0.0
 
     def _extend_to(self, t: float) -> None:
-        """Generate legs (in deterministic order) until ``t`` is covered."""
+        """Generate legs (in deterministic order) until ``t`` is covered.
+
+        Legs that end at or before the low-water mark are consumed from
+        the generator (the trace is a pure function of draw order) but
+        never buffered: after a :meth:`retire`/``reset`` +
+        ``forget_before`` cycle, regenerating the covered prefix must
+        not resurrect trimmed legs into memory.
+        """
         while self._frontier_t <= t:
             x1 = float(self._rng.uniform(0.0, self.width_m))
             y1 = float(self._rng.uniform(0.0, self.depth_m))
@@ -146,8 +165,9 @@ class RandomWaypoint(MobilityModel):
                                             self.speed_max_mps))
             x0, y0 = self._frontier_pos
             walk = math.hypot(x1 - x0, y1 - y0) / speed
-            self._legs.append((self._frontier_t, walk, self.pause_s,
-                               (x0, y0), (x1, y1)))
+            if self._frontier_t + walk + self.pause_s > self._low_water:
+                self._legs.append((self._frontier_t, walk, self.pause_s,
+                                   (x0, y0), (x1, y1)))
             self._frontier_t += walk + self.pause_s
             self._frontier_pos = (x1, y1)
 

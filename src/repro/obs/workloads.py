@@ -96,6 +96,15 @@ def bench_workloads(config: SystemConfig | None = None
 
         return asyncio.run(fleet())
 
+    def scenario_smoke():
+        from ..scenarios import SMOKE_SCENARIO, ScenarioRunner, \
+            shipped_scenarios
+
+        run = ScenarioRunner(shipped_scenarios()[SMOKE_SCENARIO],
+                             config=config).run()
+        assert run.report.passed, run.report.violations
+        return run.report.journal_digest
+
     def fuzz_smoke():
         from ..fuzz import CampaignConfig, run_campaign
 
@@ -112,5 +121,6 @@ def bench_workloads(config: SystemConfig | None = None
         "des.multicell": des_multicell,
         "des.fleet": des_fleet,
         "serve.adapt": serve_adapt,
+        "scenario.smoke": scenario_smoke,
         "fuzz.smoke": fuzz_smoke,
     }

@@ -1,0 +1,76 @@
+"""Daylight compilation: a room's :class:`DaylightSpec` to a profile.
+
+Every room derives its sky seed from the scenario seed through a
+dedicated :class:`numpy.random.SeedSequence` spawn key, so two rooms
+never share a cloud stream, adding a room never reshuffles existing
+skies, and the whole building's daylight is a pure function of
+``(scenario seed, room index)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lighting.ambient import DaylightAmbient
+from .dsl import DaylightSpec
+
+#: Spawn-key namespace separating sky streams from occupant streams.
+_SKY_NS = 1
+
+
+def sky_seed(scenario_seed: int, room_index: int) -> int:
+    """The cloud-noise seed of one room, pure in its arguments."""
+    sequence = np.random.SeedSequence(entropy=scenario_seed,
+                                      spawn_key=(_SKY_NS, room_index))
+    return int(sequence.generate_state(1)[0])
+
+
+def build_daylight(spec: DaylightSpec, scenario_seed: int,
+                   room_index: int) -> DaylightAmbient:
+    """Compile one room's sky into a seeded ambient profile.
+
+    ``window_gain`` scales both the peak and the night floor — glazing
+    attenuates streetlight spill at night just as it does the sun — so
+    the compiled profile stays inside the spec's declared band.
+    """
+    return DaylightAmbient(
+        sunrise_s=spec.sunrise_s,
+        sunset_s=spec.sunset_s,
+        peak_level=spec.peak_level * spec.window_gain,
+        night_level=spec.night_level * spec.window_gain,
+        cloud_depth=spec.cloud_depth,
+        cloud_time_scale_s=spec.cloud_time_scale_s,
+        seed=sky_seed(scenario_seed, room_index),
+    )
+
+
+def clear_sky(sunrise_s: float, sunset_s: float, *,
+              peak_level: float = 0.85,
+              window_gain: float = 1.0) -> DaylightSpec:
+    """A bright day with light, slow clouds."""
+    return DaylightSpec(sunrise_s=sunrise_s, sunset_s=sunset_s,
+                        peak_level=peak_level, night_level=0.02,
+                        cloud_depth=0.15, cloud_time_scale_s=1800.0,
+                        window_gain=window_gain)
+
+
+def overcast_sky(sunrise_s: float, sunset_s: float, *,
+                 peak_level: float = 0.6,
+                 cloud_time_scale_s: float = 120.0,
+                 window_gain: float = 1.0) -> DaylightSpec:
+    """Fast, deep cloud churn — the flicker-stress sky."""
+    return DaylightSpec(sunrise_s=sunrise_s, sunset_s=sunset_s,
+                        peak_level=peak_level, night_level=0.05,
+                        cloud_depth=0.8,
+                        cloud_time_scale_s=cloud_time_scale_s,
+                        window_gain=window_gain)
+
+
+def night_sky(duration_s: float, *,
+              night_level: float = 0.03) -> DaylightSpec:
+    """No sun inside the run: the arc sits entirely past the end."""
+    return DaylightSpec(sunrise_s=duration_s + 3600.0,
+                        sunset_s=duration_s + 2 * 3600.0,
+                        peak_level=max(night_level, 0.5),
+                        night_level=night_level,
+                        cloud_depth=0.0)

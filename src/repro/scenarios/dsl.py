@@ -1,0 +1,441 @@
+"""The declarative scenario DSL: frozen specs plus a strict loader.
+
+A :class:`Scenario` is a day (or any stretch) of building life: rooms
+with their own luminaire grids, daylight curves behind their own
+windows, seeded occupant populations that arrive, break, and leave, an
+optional chaos overlay, and the SLOs the run is judged against.  The
+schema is versioned (:data:`SCHEMA_VERSION`) and the loader is strict —
+unknown keys, missing keys, version drift, negative durations, and
+duplicate room ids are all hard errors, never silent defaults — so a
+scenario file pinned in CI cannot quietly change meaning.
+
+Everything here is declarative: specs carry no generators and no
+numpy state.  Compilation to profiles, traces, and the DES lives in
+:mod:`repro.scenarios.daylight`, :mod:`repro.scenarios.occupancy`, and
+:mod:`repro.scenarios.compiler`; ``to_dict``/``from_dict`` round-trip
+exactly (floats included), which the test suite checks by hypothesis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+#: The schema understood by :meth:`Scenario.from_dict`.
+SCHEMA_VERSION = 1
+
+#: Chaos overlays resolvable by name (see ``resilience.shipped_schedules``
+#: plus the seeded ``random`` mix).
+CHAOS_SCHEDULES = ("blinding", "ack-burst", "transients", "mixed", "random")
+
+
+def _check_keys(row: Any, what: str, required: frozenset,
+                optional: frozenset = frozenset()) -> None:
+    """Reject non-mappings, unknown keys, and missing required keys."""
+    if not isinstance(row, Mapping):
+        raise ValueError(f"{what} must be a mapping, "
+                         f"got {type(row).__name__}")
+    unknown = sorted(set(row) - required - optional)
+    if unknown:
+        raise ValueError(f"unknown {what} key(s): {', '.join(unknown)}")
+    missing = sorted(required - set(row))
+    if missing:
+        raise ValueError(f"{what} missing key(s): {', '.join(missing)}")
+
+
+@dataclass(frozen=True)
+class DaylightSpec:
+    """One room's sky: a piecewise solar arc seen through its window.
+
+    ``window_gain`` scales what the glazing admits — the per-room
+    heterogeneity knob that turns one shared sky into different indoor
+    daylight levels.  Times are scenario-clock seconds; an arc entirely
+    outside the run (``sunrise_s`` past the duration) is a legal night
+    scenario.
+    """
+
+    sunrise_s: float = 6.0 * 3600.0
+    sunset_s: float = 18.0 * 3600.0
+    peak_level: float = 0.85
+    night_level: float = 0.02
+    cloud_depth: float = 0.15
+    cloud_time_scale_s: float = 900.0
+    window_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sunrise_s < self.sunset_s:
+            raise ValueError("need 0 <= sunrise_s < sunset_s")
+        if not 0.0 <= self.night_level <= self.peak_level <= 1.0:
+            raise ValueError("need 0 <= night_level <= peak_level <= 1")
+        if not 0.0 <= self.cloud_depth < 1.0:
+            raise ValueError("cloud_depth must lie in [0, 1)")
+        if self.cloud_time_scale_s <= 0:
+            raise ValueError("cloud_time_scale_s must be positive")
+        if not 0.0 < self.window_gain <= 1.0:
+            raise ValueError("window_gain must lie in (0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exact JSON-able form (round-trips via :meth:`from_dict`)."""
+        return {
+            "sunrise_s": self.sunrise_s,
+            "sunset_s": self.sunset_s,
+            "peak_level": self.peak_level,
+            "night_level": self.night_level,
+            "cloud_depth": self.cloud_depth,
+            "cloud_time_scale_s": self.cloud_time_scale_s,
+            "window_gain": self.window_gain,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "DaylightSpec":
+        """Strictly parse a daylight spec (unknown keys are errors)."""
+        _check_keys(row, "daylight", frozenset(),
+                    frozenset(cls.__dataclass_fields__))
+        return cls(**{key: (float(row[key])) for key in row})
+
+
+@dataclass(frozen=True)
+class OccupancySpec:
+    """One room's population: seeded arrival/break/departure windows.
+
+    Each of the ``population`` occupants draws an arrival uniformly in
+    ``[arrive_lo_s, arrive_hi_s]``, a departure in ``[depart_lo_s,
+    depart_hi_s]``, and — with ``break_probability`` — one mid-day
+    absence of ``break_duration_s`` starting in ``[break_lo_s,
+    break_hi_s]``.  While present they follow a random-waypoint trace
+    inside their room at the given speeds.  Windows must be ordered
+    (arrivals before breaks before departures) so every draw yields a
+    valid presence timeline.
+    """
+
+    population: int = 2
+    arrive_lo_s: float = 0.0
+    arrive_hi_s: float = 0.0
+    depart_lo_s: float = 3600.0
+    depart_hi_s: float = 3600.0
+    break_probability: float = 0.0
+    break_lo_s: float = 0.0
+    break_hi_s: float = 0.0
+    break_duration_s: float = 0.0
+    speed_min_mps: float = 0.3
+    speed_max_mps: float = 1.0
+    pause_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be at least 1")
+        if self.arrive_lo_s < 0:
+            raise ValueError("arrive_lo_s must be non-negative")
+        if not (self.arrive_lo_s <= self.arrive_hi_s
+                <= self.depart_lo_s <= self.depart_hi_s):
+            raise ValueError("need arrive_lo_s <= arrive_hi_s <= "
+                             "depart_lo_s <= depart_hi_s")
+        if self.depart_hi_s <= self.arrive_hi_s:
+            raise ValueError("departures must end after arrivals")
+        if not 0.0 <= self.break_probability <= 1.0:
+            raise ValueError("break_probability must lie in [0, 1]")
+        if self.break_duration_s < 0:
+            raise ValueError("break_duration_s must be non-negative")
+        if self.break_probability > 0.0:
+            if self.break_duration_s <= 0:
+                raise ValueError("breaks need a positive break_duration_s")
+            if not (self.arrive_hi_s <= self.break_lo_s <= self.break_hi_s):
+                raise ValueError("need arrive_hi_s <= break_lo_s "
+                                 "<= break_hi_s")
+            if self.break_hi_s + self.break_duration_s > self.depart_lo_s:
+                raise ValueError("breaks must end before departures begin")
+        if not 0.0 < self.speed_min_mps <= self.speed_max_mps:
+            raise ValueError("need 0 < speed_min_mps <= speed_max_mps")
+        if self.pause_s < 0:
+            raise ValueError("pause_s must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exact JSON-able form (round-trips via :meth:`from_dict`)."""
+        return {
+            "population": self.population,
+            "arrive_lo_s": self.arrive_lo_s,
+            "arrive_hi_s": self.arrive_hi_s,
+            "depart_lo_s": self.depart_lo_s,
+            "depart_hi_s": self.depart_hi_s,
+            "break_probability": self.break_probability,
+            "break_lo_s": self.break_lo_s,
+            "break_hi_s": self.break_hi_s,
+            "break_duration_s": self.break_duration_s,
+            "speed_min_mps": self.speed_min_mps,
+            "speed_max_mps": self.speed_max_mps,
+            "pause_s": self.pause_s,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "OccupancySpec":
+        """Strictly parse an occupancy spec (unknown keys are errors)."""
+        _check_keys(row, "occupancy", frozenset({"population"}),
+                    frozenset(cls.__dataclass_fields__) - {"population"})
+        values: dict[str, Any] = {"population": int(row["population"])}
+        for key in row:
+            if key != "population":
+                values[key] = float(row[key])
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class RoomSpec:
+    """One room: a luminaire grid behind walls, a sky, a population.
+
+    ``rows × cols`` ceiling luminaires at ``spacing_m``; the compiler
+    places rooms far enough apart that the receiver field of view cuts
+    every cross-room gain to exactly zero — walls as FoV cutoffs.
+    """
+
+    id: str
+    rows: int = 2
+    cols: int = 2
+    spacing_m: float = 2.5
+    daylight: DaylightSpec = field(default_factory=DaylightSpec)
+    occupancy: OccupancySpec = field(default_factory=OccupancySpec)
+
+    def __post_init__(self) -> None:
+        if not self.id or not isinstance(self.id, str):
+            raise ValueError("room id must be a non-empty string")
+        if any(sep in self.id for sep in (".", "/", "\n")):
+            raise ValueError("room ids must not contain '.', '/', "
+                             "or newlines")
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("rooms need at least one luminaire "
+                             "row and column")
+        if not 0.0 < self.spacing_m <= 4.0:
+            raise ValueError("spacing_m must lie in (0, 4] so every "
+                             "occupant stays in their own room's zones")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exact JSON-able form (round-trips via :meth:`from_dict`)."""
+        return {
+            "id": self.id,
+            "rows": self.rows,
+            "cols": self.cols,
+            "spacing_m": self.spacing_m,
+            "daylight": self.daylight.to_dict(),
+            "occupancy": self.occupancy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "RoomSpec":
+        """Strictly parse a room spec (unknown keys are errors)."""
+        _check_keys(row, "room", frozenset({"id"}),
+                    frozenset({"rows", "cols", "spacing_m", "daylight",
+                               "occupancy"}))
+        values: dict[str, Any] = {"id": row["id"]}
+        if "rows" in row:
+            values["rows"] = int(row["rows"])
+        if "cols" in row:
+            values["cols"] = int(row["cols"])
+        if "spacing_m" in row:
+            values["spacing_m"] = float(row["spacing_m"])
+        if "daylight" in row:
+            values["daylight"] = DaylightSpec.from_dict(row["daylight"])
+        if "occupancy" in row:
+            values["occupancy"] = OccupancySpec.from_dict(row["occupancy"])
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """An optional fault overlay: a named resilience schedule.
+
+    ``schedule`` picks one of the curated schedules (scaled to the
+    scenario duration) or ``random`` — the seeded, ``intensity``-scaled
+    mix derived from the scenario seed.  Only the primitives the DES
+    projects (churn, uplink outages, ambient steps) take effect; the
+    rest are surfaced in the report notes rather than silently applied.
+    """
+
+    schedule: str = "mixed"
+    intensity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.schedule not in CHAOS_SCHEDULES:
+            raise ValueError(f"unknown chaos schedule {self.schedule!r}; "
+                             f"expected one of {', '.join(CHAOS_SCHEDULES)}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("intensity must lie in [0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exact JSON-able form (round-trips via :meth:`from_dict`)."""
+        return {"schedule": self.schedule, "intensity": self.intensity}
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "ChaosSpec":
+        """Strictly parse a chaos spec (unknown keys are errors)."""
+        _check_keys(row, "chaos", frozenset({"schedule"}),
+                    frozenset({"intensity"}))
+        values: dict[str, Any] = {"schedule": row["schedule"]}
+        if "intensity" in row:
+            values["intensity"] = float(row["intensity"])
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """The service-level objectives a scenario run is judged against.
+
+    Each bound applies per room per report window; ``None`` leaves that
+    dimension unenforced.  Goodput is judged only on *occupied* windows
+    (an empty room owes nobody throughput), illumination error is the
+    mean LED tracking error against the flicker-constrained target, and
+    flicker violations count perceived steps beyond the configured
+    perception threshold.
+    """
+
+    min_goodput_bps: float | None = None
+    max_illumination_error: float | None = None
+    max_flicker_violations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_goodput_bps is not None and self.min_goodput_bps < 0:
+            raise ValueError("min_goodput_bps must be non-negative")
+        if (self.max_illumination_error is not None
+                and self.max_illumination_error < 0):
+            raise ValueError("max_illumination_error must be non-negative")
+        if (self.max_flicker_violations is not None
+                and self.max_flicker_violations < 0):
+            raise ValueError("max_flicker_violations must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exact JSON-able form (round-trips via :meth:`from_dict`)."""
+        return {
+            "min_goodput_bps": self.min_goodput_bps,
+            "max_illumination_error": self.max_illumination_error,
+            "max_flicker_violations": self.max_flicker_violations,
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "SloSpec":
+        """Strictly parse an SLO spec (unknown keys are errors)."""
+        _check_keys(row, "slo", frozenset(),
+                    frozenset(cls.__dataclass_fields__))
+        values: dict[str, Any] = {}
+        for key in ("min_goodput_bps", "max_illumination_error"):
+            if key in row and row[key] is not None:
+                values[key] = float(row[key])
+        if ("max_flicker_violations" in row
+                and row["max_flicker_violations"] is not None):
+            values["max_flicker_violations"] = \
+                int(row["max_flicker_violations"])
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete declarative scenario (see the module docstring)."""
+
+    name: str
+    rooms: tuple[RoomSpec, ...]
+    seed: int = 0
+    duration_s: float = 3600.0
+    tick_s: float = 5.0
+    report_window_s: float = 3600.0
+    target_sum: float = 1.0
+    description: str = ""
+    chaos: ChaosSpec | None = None
+    slo: SloSpec = field(default_factory=SloSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("scenario name must be a non-empty string")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 < self.tick_s <= self.duration_s:
+            raise ValueError("tick_s must lie in (0, duration_s]")
+        if self.report_window_s <= 0:
+            raise ValueError("report_window_s must be positive")
+        if not 0.0 < self.target_sum <= 1.5:
+            raise ValueError("target_sum must lie in (0, 1.5]")
+        if not self.rooms:
+            raise ValueError("a scenario needs at least one room")
+        ids = [room.id for room in self.rooms]
+        duplicates = sorted({i for i in ids if ids.count(i) > 1})
+        if duplicates:
+            raise ValueError(
+                f"overlapping room id(s): {', '.join(duplicates)}")
+        for room in self.rooms:
+            if room.occupancy.depart_hi_s > self.duration_s:
+                raise ValueError(
+                    f"room {room.id!r}: departures extend past the "
+                    f"scenario duration ({room.occupancy.depart_hi_s:g} > "
+                    f"{self.duration_s:g})")
+
+    @property
+    def n_luminaires(self) -> int:
+        """Total ceiling luminaires across all rooms."""
+        return sum(room.rows * room.cols for room in self.rooms)
+
+    @property
+    def population(self) -> int:
+        """Total occupants across all rooms."""
+        return sum(room.occupancy.population for room in self.rooms)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exact JSON-able form (round-trips via :meth:`from_dict`)."""
+        return {
+            "version": SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "tick_s": self.tick_s,
+            "report_window_s": self.report_window_s,
+            "target_sum": self.target_sum,
+            "rooms": [room.to_dict() for room in self.rooms],
+            "chaos": self.chaos.to_dict() if self.chaos else None,
+            "slo": self.slo.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "Scenario":
+        """Strictly parse a scenario dict (the versioned schema).
+
+        Unknown keys anywhere, a missing or mismatched ``version``,
+        and every constraint of the spec dataclasses are hard errors.
+        """
+        _check_keys(row, "scenario",
+                    frozenset({"version", "name", "rooms"}),
+                    frozenset({"description", "seed", "duration_s",
+                               "tick_s", "report_window_s", "target_sum",
+                               "chaos", "slo"}))
+        version = row["version"]
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported scenario schema version "
+                             f"{version!r} (this build reads "
+                             f"{SCHEMA_VERSION})")
+        rooms = row["rooms"]
+        if not isinstance(rooms, (list, tuple)):
+            raise ValueError("rooms must be a list of room mappings")
+        values: dict[str, Any] = {
+            "name": row["name"],
+            "rooms": tuple(RoomSpec.from_dict(r) for r in rooms),
+        }
+        if "description" in row:
+            values["description"] = str(row["description"])
+        if "seed" in row:
+            values["seed"] = int(row["seed"])
+        for key in ("duration_s", "tick_s", "report_window_s",
+                    "target_sum"):
+            if key in row:
+                values[key] = float(row[key])
+        if row.get("chaos") is not None:
+            values["chaos"] = ChaosSpec.from_dict(row["chaos"])
+        if "slo" in row:
+            values["slo"] = SloSpec.from_dict(row["slo"])
+        return cls(**values)
+
+    def to_json(self) -> str:
+        """The scenario as an indented JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read one scenario from a JSON file through the strict loader."""
+    payload = json.loads(Path(path).read_text())
+    return Scenario.from_dict(payload)

@@ -1,0 +1,112 @@
+"""Occupancy compilation: seeded arrival/break/departure traces.
+
+Each occupant is a pure function of ``(scenario seed, room index,
+occupant index)`` through a private :class:`numpy.random.SeedSequence`
+child: their arrival, optional break, departure, waypoint-mobility
+seed, and personal daylight gain all come from that one stream, so
+growing a room's population never disturbs anyone already hired.
+
+Presence windows compile to the *complement* — the multicell
+simulator's churn primitive is downtime, so an occupant arriving at
+09:12 and leaving at 17:30 is "down" on ``[0, 09:12)`` and ``[17:30,
+end)``.  Downtime from chaos overlays merges into the same per-node
+window list (overlaps coalesced) in :mod:`repro.scenarios.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dsl import OccupancySpec
+
+#: Spawn-key namespace separating occupant streams from sky streams.
+_OCCUPANT_NS = 2
+
+
+@dataclass(frozen=True)
+class OccupantTrace:
+    """One compiled occupant: identity, presence, and trace seeds."""
+
+    name: str
+    room: str
+    #: disjoint, sorted ``[start_s, end_s)`` windows of presence
+    presence: tuple[tuple[float, float], ...]
+    mobility_seed: int
+    daylight_gain: float
+
+    def present_at(self, t: float) -> bool:
+        """Whether the occupant is in the room at ``t``."""
+        return any(start <= t < end for start, end in self.presence)
+
+    @property
+    def present_s(self) -> float:
+        """Total seconds of presence."""
+        return sum(end - start for start, end in self.presence)
+
+
+def occupant_rng(scenario_seed: int, room_index: int,
+                 occupant_index: int) -> np.random.Generator:
+    """The private generator of one occupant, pure in its arguments."""
+    sequence = np.random.SeedSequence(
+        entropy=scenario_seed,
+        spawn_key=(_OCCUPANT_NS, room_index, occupant_index))
+    return np.random.default_rng(sequence)
+
+
+def build_occupants(spec: OccupancySpec, room_id: str, room_index: int,
+                    scenario_seed: int) -> tuple[OccupantTrace, ...]:
+    """Compile one room's population into occupant traces.
+
+    Draw order per occupant is fixed (arrival, departure, break roll,
+    break start, mobility seed, daylight gain) so traces replay
+    bit-identically; the conditional break-start draw is safe because
+    each occupant owns an independent stream.
+    """
+    occupants = []
+    for index in range(spec.population):
+        rng = occupant_rng(scenario_seed, room_index, index)
+        arrive = float(rng.uniform(spec.arrive_lo_s, spec.arrive_hi_s))
+        depart = float(rng.uniform(spec.depart_lo_s, spec.depart_hi_s))
+        windows: tuple[tuple[float, float], ...]
+        if (spec.break_probability > 0.0
+                and float(rng.random()) < spec.break_probability):
+            away = float(rng.uniform(spec.break_lo_s, spec.break_hi_s))
+            windows = ((arrive, away),
+                       (away + spec.break_duration_s, depart))
+        else:
+            windows = ((arrive, depart),)
+        mobility_seed = int(rng.integers(0, 2 ** 31 - 1))
+        daylight_gain = float(rng.uniform(0.75, 1.25))
+        occupants.append(OccupantTrace(
+            name=f"{room_id}.occ{index:02d}", room=room_id,
+            presence=windows, mobility_seed=mobility_seed,
+            daylight_gain=daylight_gain))
+    return tuple(occupants)
+
+
+def downtime_windows(trace: OccupantTrace,
+                     duration_s: float) -> tuple[tuple[float, float], ...]:
+    """The churn complement of a presence trace over ``[0, duration_s)``."""
+    windows = []
+    previous = 0.0
+    for start, end in trace.presence:
+        if start > previous:
+            windows.append((previous, min(start, duration_s)))
+        previous = max(previous, end)
+    if previous < duration_s:
+        windows.append((previous, duration_s))
+    return tuple((start, end) for start, end in windows if end > start)
+
+
+def merge_windows(windows: tuple[tuple[float, float], ...]
+                  ) -> tuple[tuple[float, float], ...]:
+    """Coalesce overlapping/adjacent windows into disjoint sorted ones."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)

@@ -1,0 +1,83 @@
+"""The scenario runner: compile, run at fleet scale, judge, attest.
+
+:class:`ScenarioRunner` is the one-stop entry point the CLI, the
+``ext-scenarios`` experiment, the fuzz oracle, and the benchmarks all
+share: compile the declarative scenario onto the (sharded) DES, run
+it, fold the journal into a :class:`~repro.scenarios.report.
+ScenarioReport`, and pin provenance with a
+:class:`~repro.obs.manifest.RunManifest` carrying the journal digest.
+
+Determinism contract: the report and the journal digest are pure
+functions of ``(scenario, regions, config)``.  Only the manifest's
+wall-clock fields differ between reruns, and they are provenance-only
+by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from ..core.params import SystemConfig
+from ..net.multicell import MulticellResult
+from ..obs.manifest import RunManifest, config_digest
+from .compiler import CompiledScenario, compile_scenario
+from .dsl import Scenario
+from .report import ScenarioReport, build_report
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    compiled: CompiledScenario
+    result: MulticellResult
+    report: ScenarioReport
+    manifest: RunManifest
+
+
+class ScenarioRunner:
+    """Compile and run one scenario, returning report + provenance."""
+
+    def __init__(self, scenario: Scenario, *, regions: int = 1,
+                 config: SystemConfig | None = None):
+        if regions < 1:
+            raise ValueError("regions must be positive")
+        if regions > scenario.n_luminaires:
+            raise ValueError(
+                f"scenario {scenario.name!r} has {scenario.n_luminaires} "
+                f"luminaires; cannot shard into {regions} regions")
+        self.scenario = scenario
+        self.regions = regions
+        self.config = config if config is not None else SystemConfig()
+
+    def run(self) -> ScenarioRun:
+        """Compile, simulate, and judge the scenario."""
+        started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        t0 = time.perf_counter()
+        compiled = compile_scenario(self.scenario, regions=self.regions,
+                                    config=self.config)
+        result = compiled.simulation.run(self.scenario.duration_s)
+        report = build_report(compiled, result)
+        wall_time_s = time.perf_counter() - t0
+        manifest = RunManifest(
+            experiment_id=f"scenario/{self.scenario.name}",
+            config_digest=config_digest(self.config),
+            version=_version(),
+            seeds=(self.scenario.seed,),
+            args=f"regions={self.regions}",
+            started_at_utc=started_at,
+            wall_time_s=wall_time_s,
+            metrics=report.metrics(),
+            journal_digest=report.journal_digest,
+        )
+        return ScenarioRun(scenario=self.scenario, compiled=compiled,
+                           result=result, report=report, manifest=manifest)
+
+
+def _version() -> str:
+    from .. import __version__
+
+    return __version__

@@ -84,6 +84,33 @@ class TestInjectedDefect:
         assert execute_params("codec", DEFECT_PARAMS).status == "ok"
 
 
+class TestScenarioOracle:
+    """The scenario-engine differential: tiny buildings, full contract."""
+
+    def test_generated_cases_execute_clean(self):
+        for case in generate_cases(11, 3, oracles=("scenario",)):
+            result = execute_params("scenario", case.params)
+            assert result.status == "ok", (case.params, result.detail)
+            assert result.observation["rooms"] >= 1
+
+    def test_a_sharded_case_executes_clean(self):
+        case = next(
+            c for c in generate_cases(2, 40, oracles=("scenario",))
+            if sum(r["rows"] * r["cols"]
+                   for r in c.params["scenario"]["rooms"]) >= 2)
+        params = {**case.params, "regions": 2}
+        result = execute_params("scenario", params)
+        assert result.status == "ok", (params, result.detail)
+        assert "sharded_digest" in result.observation
+
+    def test_params_carry_a_loadable_document(self):
+        from repro.scenarios import Scenario
+
+        case = generate_cases(5, 1, oracles=("scenario",))[0]
+        scenario = Scenario.from_dict(case.params["scenario"])
+        assert scenario.to_dict() == case.params["scenario"]
+
+
 class TestErrorPaths:
     def test_unknown_oracle(self):
         with pytest.raises(ValueError, match="unknown oracle"):

@@ -141,3 +141,55 @@ class TestForgetBefore:
         desk.forget_before(100.0)
         desk.reset()
         assert desk.position(0.0) == (1.0, 1.0)
+
+
+class TestRetire:
+    """The churn contract: leave a room, rejoin, walk the same floor."""
+
+    def test_retire_is_reset_plus_forget(self):
+        retired = RandomWaypoint(6.0, 6.0, seed=21)
+        manual = RandomWaypoint(6.0, 6.0, seed=21)
+        retired.position(120.0)
+        retired.retire(80.0)
+        manual.position(120.0)
+        manual.reset()
+        manual.forget_before(80.0)
+        for t in range(80, 160, 4):
+            assert retired.position(float(t)) == manual.position(float(t))
+
+    def test_rejoining_node_matches_a_node_that_never_left(self):
+        fresh = RandomWaypoint(5.0, 4.0, seed=33)
+        reference = [fresh.position(float(t)) for t in range(200, 400, 5)]
+        churned = RandomWaypoint(5.0, 4.0, seed=33)
+        churned.position(150.0)          # walked a while...
+        churned.retire(200.0)            # ...then left the room
+        assert [churned.position(float(t))
+                for t in range(200, 400, 5)] == reference
+
+    def test_churn_cannot_resurrect_trimmed_legs(self):
+        # Regenerating the covered prefix after a retire must not
+        # re-buffer it: the rejoined trace holds only live legs.
+        walker = RandomWaypoint(4.0, 4.0, pause_s=0.5, seed=5)
+        walker.position(2000.0)
+        walker.retire(2000.0)
+        walker.position(2100.0)
+        untrimmed = RandomWaypoint(4.0, 4.0, pause_s=0.5, seed=5)
+        untrimmed.position(2100.0)
+        assert 4 * len(walker._legs) < len(untrimmed._legs)
+
+    def test_queries_before_the_departure_raise(self):
+        walker = RandomWaypoint(5.0, 5.0, seed=9)
+        walker.position(50.0)
+        walker.retire(60.0)
+        with pytest.raises(ValueError, match="predates forget_before"):
+            walker.position(59.9)
+        walker.position(60.0)  # the rejoin instant stays answerable
+
+    def test_repeated_churn_cycles_stay_consistent(self):
+        fresh = RandomWaypoint(6.0, 3.0, seed=17)
+        churned = RandomWaypoint(6.0, 3.0, seed=17)
+        for rejoin in (50.0, 130.0, 400.0):
+            churned.retire(rejoin)
+            for dt in (0.0, 3.0, 9.5):
+                assert churned.position(rejoin + dt) \
+                    == fresh.position(rejoin + dt)

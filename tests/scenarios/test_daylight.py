@@ -1,0 +1,78 @@
+"""Daylight compilation: seed purity, room independence, night skies."""
+
+from repro.lighting.ambient import DaylightAmbient
+from repro.scenarios import (
+    DaylightSpec,
+    build_daylight,
+    clear_sky,
+    night_sky,
+    overcast_sky,
+)
+from repro.scenarios.daylight import sky_seed
+
+
+class TestSkySeed:
+    def test_pure_in_its_arguments(self):
+        assert sky_seed(7, 0) == sky_seed(7, 0)
+        assert sky_seed(7, 3) == sky_seed(7, 3)
+
+    def test_rooms_never_share_a_stream(self):
+        seeds = [sky_seed(7, room) for room in range(8)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_scenario_seed_separates_buildings(self):
+        assert sky_seed(7, 0) != sky_seed(8, 0)
+
+
+class TestBuildDaylight:
+    SPEC = DaylightSpec(sunrise_s=0.0, sunset_s=600.0, peak_level=0.8,
+                        night_level=0.05, cloud_depth=0.5,
+                        cloud_time_scale_s=30.0)
+
+    def test_same_room_same_profile(self):
+        a = build_daylight(self.SPEC, 11, 2)
+        b = build_daylight(self.SPEC, 11, 2)
+        assert [a.intensity(float(t)) for t in range(0, 600, 7)] \
+            == [b.intensity(float(t)) for t in range(0, 600, 7)]
+
+    def test_adjacent_rooms_see_different_clouds(self):
+        a = build_daylight(self.SPEC, 11, 0)
+        b = build_daylight(self.SPEC, 11, 1)
+        assert any(a.intensity(float(t)) != b.intensity(float(t))
+                   for t in range(30, 600, 7))
+
+    def test_window_gain_scales_the_whole_band(self):
+        dimmed = build_daylight(
+            DaylightSpec(sunrise_s=0.0, sunset_s=600.0, peak_level=0.8,
+                         night_level=0.05, window_gain=0.5), 11, 0)
+        assert isinstance(dimmed, DaylightAmbient)
+        assert dimmed.peak_level == 0.4
+        assert dimmed.night_level == 0.025
+
+    def test_levels_stay_inside_the_declared_band(self):
+        profile = build_daylight(self.SPEC, 11, 0)
+        for t in range(0, 700, 5):
+            level = profile.intensity(float(t))
+            assert 0.0 <= level <= self.SPEC.peak_level + 1e-12
+
+
+class TestFactories:
+    def test_night_sky_never_sees_the_sun(self):
+        duration = 3600.0
+        profile = build_daylight(night_sky(duration, night_level=0.03),
+                                 5, 0)
+        for t in range(0, int(duration) + 1, 60):
+            assert profile.intensity(float(t)) == 0.03
+
+    def test_clear_sky_is_calmer_than_overcast(self):
+        clear = clear_sky(0.0, 600.0)
+        stormy = overcast_sky(0.0, 600.0)
+        assert clear.cloud_depth < stormy.cloud_depth
+        assert clear.cloud_time_scale_s > stormy.cloud_time_scale_s
+
+    def test_factories_build_valid_specs(self):
+        for spec in (clear_sky(0.0, 100.0, window_gain=0.6),
+                     overcast_sky(0.0, 100.0, cloud_time_scale_s=15.0),
+                     night_sky(100.0)):
+            profile = build_daylight(spec, 1, 0)
+            assert 0.0 <= profile.intensity(50.0) <= 1.0

@@ -1,0 +1,265 @@
+"""The scenario DSL: strict loading, validation, exact round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    CHAOS_SCHEDULES,
+    ChaosSpec,
+    DaylightSpec,
+    OccupancySpec,
+    RoomSpec,
+    Scenario,
+    SloSpec,
+    load_scenario,
+)
+
+
+def tiny_room(room_id="a", **occupancy):
+    defaults = dict(population=1, depart_lo_s=40.0, depart_hi_s=50.0)
+    defaults.update(occupancy)
+    return RoomSpec(id=room_id, rows=1, cols=1,
+                    occupancy=OccupancySpec(**defaults))
+
+
+def tiny_scenario(**overrides):
+    values = dict(name="tiny", rooms=(tiny_room(),), duration_s=60.0,
+                  tick_s=2.0, report_window_s=30.0)
+    values.update(overrides)
+    return Scenario(**values)
+
+
+class TestValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            tiny_scenario(duration_s=-5.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            tiny_scenario(duration_s=0.0)
+
+    def test_tick_beyond_duration_rejected(self):
+        with pytest.raises(ValueError, match="tick_s"):
+            tiny_scenario(tick_s=120.0)
+
+    def test_negative_report_window_rejected(self):
+        with pytest.raises(ValueError, match="report_window_s"):
+            tiny_scenario(report_window_s=-1.0)
+
+    def test_overlapping_room_ids_rejected(self):
+        with pytest.raises(ValueError, match="overlapping room id"):
+            tiny_scenario(rooms=(tiny_room("a"), tiny_room("b"),
+                                 tiny_room("a")))
+
+    def test_departures_past_the_duration_rejected(self):
+        with pytest.raises(ValueError, match="extend past"):
+            tiny_scenario(rooms=(tiny_room(depart_hi_s=90.0),))
+
+    def test_room_id_with_separators_rejected(self):
+        for bad in ("a.b", "a/b", "a\nb", ""):
+            with pytest.raises(ValueError):
+                tiny_room(bad)
+
+    def test_empty_room_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one room"):
+            tiny_scenario(rooms=())
+
+    def test_target_sum_band(self):
+        with pytest.raises(ValueError, match="target_sum"):
+            tiny_scenario(target_sum=0.0)
+        with pytest.raises(ValueError, match="target_sum"):
+            tiny_scenario(target_sum=1.6)
+
+    def test_daylight_ordering(self):
+        with pytest.raises(ValueError, match="sunrise"):
+            DaylightSpec(sunrise_s=100.0, sunset_s=50.0)
+        with pytest.raises(ValueError, match="night_level"):
+            DaylightSpec(night_level=0.9, peak_level=0.5)
+        with pytest.raises(ValueError, match="window_gain"):
+            DaylightSpec(window_gain=0.0)
+
+    def test_occupancy_window_ordering(self):
+        with pytest.raises(ValueError, match="arrive_lo_s"):
+            OccupancySpec(arrive_lo_s=-1.0)
+        with pytest.raises(ValueError):
+            OccupancySpec(arrive_lo_s=10.0, arrive_hi_s=5.0)
+        with pytest.raises(ValueError, match="break"):
+            OccupancySpec(break_probability=0.5, break_duration_s=0.0)
+
+    def test_unknown_chaos_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos schedule"):
+            ChaosSpec(schedule="meteor-strike")
+
+    def test_negative_slo_bounds_rejected(self):
+        with pytest.raises(ValueError, match="min_goodput_bps"):
+            SloSpec(min_goodput_bps=-1.0)
+        with pytest.raises(ValueError, match="max_flicker"):
+            SloSpec(max_flicker_violations=-1)
+
+
+class TestLoader:
+    def test_unknown_scenario_key_rejected(self):
+        row = tiny_scenario().to_dict()
+        row["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown scenario key"):
+            Scenario.from_dict(row)
+
+    def test_unknown_nested_keys_rejected(self):
+        row = tiny_scenario().to_dict()
+        row["rooms"][0]["colour"] = "teal"
+        with pytest.raises(ValueError, match="unknown room key"):
+            Scenario.from_dict(row)
+        row = tiny_scenario().to_dict()
+        row["rooms"][0]["daylight"]["moon_phase"] = 0.5
+        with pytest.raises(ValueError, match="unknown daylight key"):
+            Scenario.from_dict(row)
+        row = tiny_scenario().to_dict()
+        row["slo"]["max_latency_s"] = 1.0
+        with pytest.raises(ValueError, match="unknown slo key"):
+            Scenario.from_dict(row)
+
+    def test_missing_required_keys_rejected(self):
+        row = tiny_scenario().to_dict()
+        del row["rooms"]
+        with pytest.raises(ValueError, match="missing key"):
+            Scenario.from_dict(row)
+
+    def test_version_mismatch_rejected(self):
+        row = tiny_scenario().to_dict()
+        row["version"] = 2
+        with pytest.raises(ValueError, match="unsupported scenario schema"):
+            Scenario.from_dict(row)
+
+    def test_missing_version_rejected(self):
+        row = tiny_scenario().to_dict()
+        del row["version"]
+        with pytest.raises(ValueError, match="missing key"):
+            Scenario.from_dict(row)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            Scenario.from_dict("not a scenario")  # type: ignore[arg-type]
+
+    def test_rooms_must_be_a_list(self):
+        row = tiny_scenario().to_dict()
+        row["rooms"] = "everywhere"
+        with pytest.raises(ValueError, match="rooms must be a list"):
+            Scenario.from_dict(row)
+
+    def test_load_scenario_reads_json_files(self, tmp_path):
+        scenario = tiny_scenario(chaos=ChaosSpec(schedule="random",
+                                                 intensity=0.4))
+        path = tmp_path / "tiny.json"
+        path.write_text(scenario.to_json())
+        assert load_scenario(path) == scenario
+
+    def test_counts(self):
+        scenario = tiny_scenario(rooms=(
+            RoomSpec(id="a", rows=2, cols=3,
+                     occupancy=OccupancySpec(population=4,
+                                             depart_lo_s=40.0,
+                                             depart_hi_s=50.0)),
+            tiny_room("b"),
+        ))
+        assert scenario.n_luminaires == 7
+        assert scenario.population == 5
+
+
+def _floats(lo, hi):
+    return st.floats(min_value=lo, max_value=hi,
+                     allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def daylight_specs(draw):
+    sunrise = draw(_floats(0.0, 1000.0))
+    peak = draw(_floats(0.05, 1.0))
+    return DaylightSpec(
+        sunrise_s=sunrise,
+        sunset_s=sunrise + draw(_floats(1.0, 50000.0)),
+        peak_level=peak,
+        night_level=draw(_floats(0.0, peak)),
+        cloud_depth=draw(_floats(0.0, 0.99)),
+        cloud_time_scale_s=draw(_floats(1.0, 5000.0)),
+        window_gain=draw(_floats(0.01, 1.0)),
+    )
+
+
+@st.composite
+def occupancy_specs(draw, quarter):
+    arrive_lo = draw(_floats(0.0, quarter))
+    arrive_hi = arrive_lo + draw(_floats(0.0, quarter))
+    gap = draw(_floats(1.0, quarter))
+    depart_lo = arrive_hi + gap
+    speed_min = draw(_floats(0.1, 1.0))
+    values = dict(
+        population=draw(st.integers(min_value=1, max_value=4)),
+        arrive_lo_s=arrive_lo,
+        arrive_hi_s=arrive_hi,
+        depart_lo_s=depart_lo,
+        depart_hi_s=depart_lo + draw(_floats(0.0, quarter)),
+        speed_min_mps=speed_min,
+        speed_max_mps=speed_min + draw(_floats(0.0, 1.0)),
+        pause_s=draw(_floats(0.0, 60.0)),
+    )
+    if draw(st.booleans()):
+        values.update(
+            break_probability=draw(_floats(0.01, 1.0)),
+            break_lo_s=arrive_hi,
+            break_hi_s=arrive_hi,
+            break_duration_s=gap / 2.0,
+        )
+    return OccupancySpec(**values)
+
+
+@st.composite
+def scenarios(draw):
+    duration = draw(_floats(1000.0, 20000.0))
+    quarter = duration / 5.0
+    rooms = tuple(
+        RoomSpec(id=f"room{i}",
+                 rows=draw(st.integers(min_value=1, max_value=2)),
+                 cols=draw(st.integers(min_value=1, max_value=2)),
+                 spacing_m=draw(_floats(0.5, 4.0)),
+                 daylight=draw(daylight_specs()),
+                 occupancy=draw(occupancy_specs(quarter)))
+        for i in range(draw(st.integers(min_value=1, max_value=3))))
+    chaos = (ChaosSpec(schedule=draw(st.sampled_from(CHAOS_SCHEDULES)),
+                       intensity=draw(_floats(0.0, 1.0)))
+             if draw(st.booleans()) else None)
+    slo = SloSpec(
+        min_goodput_bps=draw(st.none() | _floats(0.0, 1e6)),
+        max_illumination_error=draw(st.none() | _floats(0.0, 1.0)),
+        max_flicker_violations=draw(
+            st.none() | st.integers(min_value=0, max_value=100)),
+    )
+    return Scenario(
+        name=draw(st.sampled_from(("office", "lab", "floor-3"))),
+        description=draw(st.text(max_size=40)),
+        rooms=rooms,
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        duration_s=duration,
+        tick_s=draw(_floats(0.5, 60.0)),
+        report_window_s=draw(_floats(1.0, duration)),
+        target_sum=draw(_floats(0.1, 1.5)),
+        chaos=chaos,
+        slo=slo,
+    )
+
+
+class TestRoundTrip:
+    @given(scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_from_dict_to_dict_is_the_identity(self, scenario):
+        document = scenario.to_dict()
+        parsed = Scenario.from_dict(document)
+        assert parsed == scenario
+        assert parsed.to_dict() == document
+
+    @given(scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_json_round_trip_is_exact(self, scenario):
+        assert Scenario.from_dict(json.loads(scenario.to_json())) == scenario

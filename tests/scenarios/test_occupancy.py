@@ -1,0 +1,97 @@
+"""Occupancy compilation: seeded traces, complements, window algebra."""
+
+import dataclasses
+
+from repro.scenarios import (
+    OccupancySpec,
+    build_occupants,
+    downtime_windows,
+    merge_windows,
+)
+
+SPEC = OccupancySpec(population=4, arrive_lo_s=0.0, arrive_hi_s=100.0,
+                     depart_lo_s=500.0, depart_hi_s=900.0)
+
+BREAKS = OccupancySpec(population=3, arrive_lo_s=0.0, arrive_hi_s=100.0,
+                       depart_lo_s=600.0, depart_hi_s=900.0,
+                       break_probability=1.0, break_lo_s=150.0,
+                       break_hi_s=300.0, break_duration_s=120.0)
+
+
+class TestBuildOccupants:
+    def test_replays_bit_identically(self):
+        assert build_occupants(SPEC, "a", 0, 7) \
+            == build_occupants(SPEC, "a", 0, 7)
+
+    def test_growing_the_population_disturbs_nobody(self):
+        small = build_occupants(SPEC, "a", 0, 7)
+        grown = build_occupants(
+            dataclasses.replace(SPEC, population=6), "a", 0, 7)
+        assert grown[:len(small)] == small
+
+    def test_rooms_and_seeds_separate_streams(self):
+        by_room = build_occupants(SPEC, "a", 1, 7)
+        by_seed = build_occupants(SPEC, "a", 0, 8)
+        base = build_occupants(SPEC, "a", 0, 7)
+        assert base[0].presence != by_room[0].presence
+        assert base[0].presence != by_seed[0].presence
+
+    def test_draws_land_inside_the_declared_windows(self):
+        for trace in build_occupants(SPEC, "a", 0, 21):
+            (arrive, depart), = trace.presence
+            assert SPEC.arrive_lo_s <= arrive <= SPEC.arrive_hi_s
+            assert SPEC.depart_lo_s <= depart <= SPEC.depart_hi_s
+
+    def test_certain_break_splits_presence_in_two(self):
+        for trace in build_occupants(BREAKS, "a", 0, 3):
+            assert len(trace.presence) == 2
+            (_, away), (back, depart) = trace.presence
+            assert BREAKS.break_lo_s <= away <= BREAKS.break_hi_s
+            assert back == away + BREAKS.break_duration_s
+            assert back <= depart
+
+    def test_names_and_gains(self):
+        traces = build_occupants(SPEC, "lab", 0, 7)
+        assert [t.name for t in traces] == [
+            "lab.occ00", "lab.occ01", "lab.occ02", "lab.occ03"]
+        assert all(0.75 <= t.daylight_gain <= 1.25 for t in traces)
+
+    def test_present_at_and_present_s(self):
+        trace = build_occupants(BREAKS, "a", 0, 3)[0]
+        (arrive, away), (back, depart) = trace.presence
+        assert trace.present_at((arrive + away) / 2.0)
+        assert not trace.present_at(away + 1.0)
+        assert trace.present_s == (away - arrive) + (depart - back)
+
+
+class TestDowntimeWindows:
+    def test_complement_partitions_the_run(self):
+        duration = 1000.0
+        for trace in build_occupants(BREAKS, "a", 0, 9):
+            downtime = downtime_windows(trace, duration)
+            total = trace.present_s + sum(e - s for s, e in downtime)
+            assert abs(total - duration) < 1e-9
+            for start, end in downtime:
+                mid = (start + end) / 2.0
+                assert not trace.present_at(mid)
+
+    def test_presence_up_to_the_end_leaves_no_tail(self):
+        trace = build_occupants(SPEC, "a", 0, 7)[0]
+        (arrive, depart), = trace.presence
+        downtime = downtime_windows(trace, depart)
+        assert downtime == ((0.0, arrive),)
+
+
+class TestMergeWindows:
+    def test_overlaps_coalesce(self):
+        assert merge_windows(((0.0, 5.0), (3.0, 8.0))) == ((0.0, 8.0),)
+
+    def test_adjacent_windows_join(self):
+        assert merge_windows(((0.0, 5.0), (5.0, 8.0))) == ((0.0, 8.0),)
+
+    def test_disjoint_windows_sort(self):
+        assert merge_windows(((6.0, 8.0), (0.0, 2.0))) \
+            == ((0.0, 2.0), (6.0, 8.0))
+
+    def test_empty_is_empty(self):
+        assert merge_windows(()) == ()

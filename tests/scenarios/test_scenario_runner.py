@@ -1,0 +1,138 @@
+"""The scenario runner and report: replay, parity, SLO verdicts."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.scenarios import (
+    SMOKE_SCENARIO,
+    OccupancySpec,
+    RoomSpec,
+    Scenario,
+    ScenarioRunner,
+    SloSpec,
+    shipped_scenarios,
+)
+
+TINY = Scenario(
+    name="tiny",
+    rooms=(RoomSpec(id="a", rows=1, cols=2, spacing_m=2.0,
+                    occupancy=OccupancySpec(population=2,
+                                            arrive_lo_s=0.0,
+                                            arrive_hi_s=10.0,
+                                            depart_lo_s=60.0,
+                                            depart_hi_s=75.0)),),
+    seed=17, duration_s=80.0, tick_s=2.0, report_window_s=40.0,
+)
+
+
+class TestReplay:
+    def test_reruns_journal_and_report_identically(self):
+        first = ScenarioRunner(TINY).run()
+        second = ScenarioRunner(TINY).run()
+        assert first.report.journal_digest == second.report.journal_digest
+        assert first.report.as_dict() == second.report.as_dict()
+        assert first.manifest.metrics == second.manifest.metrics
+
+    def test_sharded_reruns_are_deterministic_and_conserving(self):
+        reference = ScenarioRunner(TINY).run()
+        first = ScenarioRunner(TINY, regions=2).run()
+        second = ScenarioRunner(TINY, regions=2).run()
+        assert first.report.journal_digest == second.report.journal_digest
+        assert first.result.total_handovers \
+            == reference.result.total_handovers
+        r_metrics = first.result.metrics()
+        metrics = reference.result.metrics()
+        assert r_metrics["reports_delivered"] == metrics["reports_delivered"]
+        assert r_metrics["reports_lost"] == metrics["reports_lost"]
+
+
+class TestRunnerValidation:
+    def test_regions_must_be_positive(self):
+        with pytest.raises(ValueError, match="regions"):
+            ScenarioRunner(TINY, regions=0)
+
+    def test_regions_capped_by_the_luminaire_count(self):
+        with pytest.raises(ValueError, match="cannot shard"):
+            ScenarioRunner(TINY, regions=3)
+
+
+class TestManifest:
+    def test_provenance_pins_the_run(self):
+        run = ScenarioRunner(TINY).run()
+        assert run.manifest.experiment_id == "scenario/tiny"
+        assert run.manifest.seeds == (17,)
+        assert run.manifest.args == "regions=1"
+        assert run.manifest.journal_digest == run.report.journal_digest
+        assert run.manifest.metrics == run.report.metrics()
+
+
+class TestReport:
+    def test_windows_tile_the_duration_per_room(self):
+        report = ScenarioRunner(TINY).run().report
+        n_windows = math.ceil(TINY.duration_s / TINY.report_window_s)
+        assert len(report.windows) == n_windows * len(report.rooms)
+        assert report.windows[0].start_s == 0.0
+        assert report.windows[-1].end_s == TINY.duration_s
+
+    def test_room_lookup(self):
+        report = ScenarioRunner(TINY).run().report
+        assert report.room("a").room == "a"
+        with pytest.raises(KeyError):
+            report.room("basement")
+
+    def test_flicker_bound_holds(self):
+        # The adaptation planner's own guarantee, folded per journal tick.
+        report = ScenarioRunner(TINY).run().report
+        assert report.metrics()["flicker_violations"] == 0.0
+
+    def test_occupied_windows_carry_goodput(self):
+        report = ScenarioRunner(TINY).run().report
+        occupied = [w for w in report.windows if w.present_ticks]
+        assert occupied
+        assert all(w.mean_goodput_bps > 0.0 for w in occupied)
+
+    def test_render_mentions_the_verdict_and_digest(self):
+        report = ScenarioRunner(TINY).run().report
+        text = report.render()
+        assert "journal digest" in text
+        assert "SLO:" in text
+
+    def test_impossible_slo_fails_the_run(self):
+        strict = dataclasses.replace(
+            TINY, slo=SloSpec(min_goodput_bps=1e12))
+        report = ScenarioRunner(strict).run().report
+        assert not report.passed
+        assert report.metrics()["slo_pass"] == 0.0
+        assert any("goodput" in v for v in report.violations)
+        assert "SLO: FAIL" in report.render()
+
+    def test_as_dict_is_the_ci_artifact(self):
+        report = ScenarioRunner(TINY).run().report
+        payload = report.as_dict()
+        assert payload["kind"] == "scenario-report"
+        assert payload["scenario"] == "tiny"
+        assert payload["passed"] is True
+        assert len(payload["windows"]) == len(report.windows)
+
+
+class TestShipped:
+    def test_names_match_their_keys(self):
+        shipped = shipped_scenarios()
+        assert len(shipped) >= 4
+        for name, scenario in shipped.items():
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_smoke_scenario_is_shipped_and_smallest(self):
+        shipped = shipped_scenarios()
+        assert SMOKE_SCENARIO in shipped
+        smallest = min(shipped.values(),
+                       key=lambda s: s.duration_s * s.n_luminaires)
+        assert smallest.name == SMOKE_SCENARIO
+
+    def test_smoke_scenario_passes_its_slo(self):
+        run = ScenarioRunner(shipped_scenarios()[SMOKE_SCENARIO]).run()
+        assert run.report.passed, run.report.violations
+        assert run.report.metrics()["flicker_violations"] == 0.0

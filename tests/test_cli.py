@@ -240,6 +240,110 @@ class TestChaos:
         assert "--intensity" in err
 
 
+class TestScenario:
+    """The trace-driven scenario engine behind ``repro scenario``."""
+
+    @staticmethod
+    def _tiny_doc(**slo):
+        return {
+            "version": 1,
+            "name": "tiny",
+            "duration_s": 40.0,
+            "tick_s": 2.0,
+            "report_window_s": 20.0,
+            "rooms": [{
+                "id": "a", "rows": 1, "cols": 1,
+                "occupancy": {"population": 1, "depart_lo_s": 30.0,
+                              "depart_hi_s": 30.0},
+            }],
+            "slo": slo,
+        }
+
+    def test_list_names_the_shipped_set(self):
+        code, text, err = run_cli("scenario", "list")
+        assert code == 0
+        assert err == ""
+        assert "huddle-smoke" in text
+        assert "occupants" in text
+
+    def test_show_prints_the_versioned_document(self):
+        code, text, _ = run_cli("scenario", "show", "huddle-smoke")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["version"] == 1
+        assert payload["name"] == "huddle-smoke"
+
+    def test_show_round_trips_through_a_file(self, tmp_path):
+        _, shown, _ = run_cli("scenario", "show", "huddle-smoke")
+        path = tmp_path / "day.json"
+        path.write_text(shown)
+        code, text, _ = run_cli("scenario", "show", str(path), "--file")
+        assert code == 0
+        assert json.loads(text) == json.loads(shown)
+
+    def test_unknown_name_lists_known_on_stderr(self):
+        code, text, err = run_cli("scenario", "run", "nope")
+        assert code == 2
+        assert text == ""
+        assert "nope" in err
+        assert "huddle-smoke" in err
+
+    def test_missing_file_rejected(self, tmp_path):
+        code, _, err = run_cli("scenario", "run",
+                               str(tmp_path / "ghost.json"), "--file")
+        assert code == 2
+        assert "no such scenario file" in err
+
+    def test_invalid_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        doc = self._tiny_doc()
+        doc["version"] = 99
+        bad.write_text(json.dumps(doc))
+        code, _, err = run_cli("scenario", "show", str(bad), "--file")
+        assert code == 2
+        assert "invalid scenario file" in err
+
+    def test_run_reports_passes_and_writes_the_artifact(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, text, err = run_cli("scenario", "run", "huddle-smoke",
+                                  "--report", str(target))
+        assert code == 0
+        assert err == ""
+        assert "journal digest" in text
+        assert "SLO: PASS" in text
+        payload = json.loads(target.read_text())
+        assert payload["kind"] == "scenario-report"
+        assert payload["passed"] is True
+        assert payload["manifest"]["experiment_id"] == \
+            "scenario/huddle-smoke"
+        assert payload["journal_digest"] == \
+            payload["manifest"]["journal_digest"]
+
+    def test_reruns_print_identical_reports(self, tmp_path):
+        doc = self._tiny_doc()
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(doc))
+        _, first, _ = run_cli("scenario", "run", str(path), "--file")
+        _, second, _ = run_cli("scenario", "run", str(path), "--file")
+        assert first == second
+
+    def test_slo_miss_exits_1(self, tmp_path):
+        doc = self._tiny_doc(min_goodput_bps=1e12)
+        path = tmp_path / "strict.json"
+        path.write_text(json.dumps(doc))
+        code, text, _ = run_cli("scenario", "run", str(path), "--file")
+        assert code == 1
+        assert "SLO: FAIL" in text
+
+    def test_bad_regions_rejected(self):
+        for regions in ("0", "99"):
+            code, text, err = run_cli("scenario", "run", "huddle-smoke",
+                                      "--regions", regions)
+            assert code == 2
+            assert text == ""
+            assert "--regions" in err
+
+
 class TestServe:
     def test_load_mode_runs_a_fleet_and_reports(self):
         code, text, err = run_cli("serve", "--load", "--clients", "12",

@@ -10,7 +10,7 @@ import repro
 SUBPACKAGES = ("repro.core", "repro.baselines", "repro.phy", "repro.link",
                "repro.lighting", "repro.sim", "repro.des", "repro.net",
                "repro.resilience", "repro.obs", "repro.serve",
-               "repro.experiments")
+               "repro.scenarios", "repro.experiments")
 
 
 class TestTopLevel:
